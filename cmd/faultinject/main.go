@@ -1,0 +1,51 @@
+// Command faultinject reproduces Figure 3: how standard SEC-DED ECC and the
+// proposed MAC-in-ECC scheme handle different bit-flip fault patterns.
+//
+// For each fault class it reports the fraction of injected faults that were
+// corrected, detected-but-uncorrectable, or silently miscorrected.
+//
+// Usage:
+//
+//	faultinject [-trials n] [-seed s] [-budget 0|1|2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"authmem/internal/fault"
+	"authmem/internal/stats"
+)
+
+func main() {
+	trials := flag.Int("trials", 2000, "fault injections per (scheme, class) cell")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	budget := flag.Int("budget", 2, "MAC-in-ECC flip-and-check budget (bits)")
+	flag.Parse()
+
+	fmt.Printf("Figure 3: error handling by fault pattern (%d trials per cell)\n", *trials)
+	fmt.Printf("cells are corrected%% / detected%% / miscorrected%%\n\n")
+
+	tb := stats.NewTable("fault pattern", "SEC-DED(72,64)", fmt.Sprintf("MAC-in-ECC (budget %d)", *budget))
+	for _, class := range fault.Classes() {
+		sec := fault.InjectSECDED(class, *trials, *seed)
+		mec, err := fault.InjectMACECC(class, *trials, *seed, *budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultinject:", err)
+			os.Exit(1)
+		}
+		tb.AddRow(class.String(), cell(sec), cell(mec))
+	}
+	fmt.Print(tb)
+	fmt.Println("\nReading the table (paper §3.3-§3.4):")
+	fmt.Println(" - two flips in ONE word: only MAC-in-ECC corrects (flip-and-check)")
+	fmt.Println(" - one flip in each of many words: only SEC-DED corrects")
+	fmt.Println(" - >=3 flips in one word: SEC-DED can silently miscorrect;")
+	fmt.Println("   MAC-in-ECC always detects (full error detection on data)")
+}
+
+func cell(r fault.Result) string {
+	return fmt.Sprintf("%5.1f / %5.1f / %5.1f",
+		r.CorrectedPct(), r.DetectedPct(), r.MiscorrectedPct())
+}

@@ -1,0 +1,68 @@
+// Command overhead reproduces Figure 1: the storage overhead of
+// authenticated memory encryption under the baseline and the proposed
+// design points, plus the integrity-tree geometry (§5.2's 5-level vs
+// 4-level trees).
+//
+// Usage:
+//
+//	overhead [-region bytes] [-onchip bytes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"authmem/internal/core"
+	"authmem/internal/ctr"
+	"authmem/internal/stats"
+)
+
+func main() {
+	region := flag.Uint64("region", 512<<20, "protected region size in bytes")
+	onchip := flag.Int("onchip", 3<<10, "on-chip tree root SRAM budget in bytes")
+	flag.Parse()
+
+	type point struct {
+		name      string
+		scheme    ctr.Kind
+		placement core.MACPlacement
+		dataTree  bool
+	}
+	points := []point{
+		{"classic Merkle tree over data", ctr.Monolithic, core.MACInline, true},
+		{"baseline (56b ctr + inline MAC)", ctr.Monolithic, core.MACInline, false},
+		{"split counters + inline MAC", ctr.Split, core.MACInline, false},
+		{"delta + inline MAC", ctr.Delta, core.MACInline, false},
+		{"monolithic + MAC-in-ECC", ctr.Monolithic, core.MACInECC, false},
+		{"proposed (delta + MAC-in-ECC)", ctr.Delta, core.MACInECC, false},
+		{"dual-length + MAC-in-ECC", ctr.DualLength, core.MACInECC, false},
+	}
+
+	fmt.Printf("Figure 1: encryption metadata storage overhead, %s protected region\n\n",
+		stats.FormatBytes(*region))
+	tb := stats.NewTable("design point", "counters", "tree", "MACs", "total", "overhead", "tree levels")
+	for _, p := range points {
+		cfg := core.Default(p.scheme, p.placement)
+		cfg.RegionBytes = *region
+		cfg.OnChipTreeBytes = *onchip
+		cfg.DataTree = p.dataTree
+		o, err := core.ComputeOverhead(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overhead:", err)
+			os.Exit(1)
+		}
+		tb.AddRow(p.name,
+			stats.FormatBytes(o.CounterBytes),
+			stats.FormatBytes(o.TreeBytes),
+			stats.FormatBytes(o.MACBytes),
+			stats.FormatBytes(o.EncryptionOverheadBytes()),
+			stats.Pct(o.EncryptionOverheadPct()),
+			o.TreeLevels)
+	}
+	fmt.Print(tb)
+	fmt.Printf("\nECC DIMM provisioning (present either way): %s (12.5%%)\n",
+		stats.FormatBytes(*region/8))
+	fmt.Println("\nPaper: baseline ~22% total; proposed ~2% (a ~10x reduction), and the")
+	fmt.Println("off-chip tree shrinks from 5 to 4 levels at 512MB with a 3KB root (§5.2).")
+}

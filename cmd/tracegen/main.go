@@ -1,0 +1,144 @@
+// Command tracegen materializes the synthetic workload traces into the
+// binary trace-file format, so runs can be archived, diffed, or replayed by
+// external tools (and by memsim's -trace flag).
+//
+// Usage:
+//
+//	tracegen -app facesim -ops 1000000 -out facesim   # facesim.core{0..3}.trc
+//	tracegen -stats facesim.core0.trc                 # analyze a trace file
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"authmem/internal/trace"
+	"authmem/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "canneal", "workload to materialize")
+	ops := flag.Uint64("ops", 1_000_000, "memory operations per core")
+	seed := flag.Int64("seed", 1, "trace seed")
+	cores := flag.Int("cores", 4, "number of per-core trace files")
+	out := flag.String("out", "", "output file prefix (default: the app name)")
+	statsFile := flag.String("stats", "", "analyze an existing trace file instead of generating")
+	list := flag.Bool("list", false, "list workloads")
+	flag.Parse()
+
+	if *statsFile != "" {
+		if err := analyze(*statsFile); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *list {
+		var names []string
+		for _, a := range workload.Apps() {
+			names = append(names, a.Name)
+		}
+		fmt.Println(strings.Join(names, " "))
+		return
+	}
+	app, ok := workload.ByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown app %q (try -list)\n", *appName)
+		os.Exit(1)
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = app.Name
+	}
+	for core := 0; core < *cores; core++ {
+		path := fmt.Sprintf("%s.core%d.trc", prefix, core)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := trace.Copy(w, app.TraceGen(core, *ops, *seed))
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d records\n", path, n)
+	}
+}
+
+// analyze prints summary statistics of a trace file: mix, footprint,
+// locality shape.
+func analyze(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		records, stores uint64
+		gaps            uint64
+		minAddr         = ^uint64(0)
+		maxAddr         uint64
+		lines           = make(map[uint64]struct{})
+		seqPairs        uint64
+		lastLine        uint64
+		haveLast        bool
+	)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		records++
+		gaps += uint64(rec.Gap)
+		if rec.Op == trace.Store {
+			stores++
+		}
+		if rec.Addr < minAddr {
+			minAddr = rec.Addr
+		}
+		if rec.Addr > maxAddr {
+			maxAddr = rec.Addr
+		}
+		line := rec.Addr >> 6
+		lines[line] = struct{}{}
+		if haveLast && (line == lastLine || line == lastLine+1) {
+			seqPairs++
+		}
+		lastLine, haveLast = line, true
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if records == 0 {
+		return fmt.Errorf("%s: empty trace", path)
+	}
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  records:           %d\n", records)
+	fmt.Printf("  instructions:      %d (mean gap %.2f)\n",
+		records+gaps, float64(gaps)/float64(records))
+	fmt.Printf("  store fraction:    %.3f\n", float64(stores)/float64(records))
+	fmt.Printf("  address range:     [%#x, %#x]\n", minAddr, maxAddr)
+	fmt.Printf("  unique 64B lines:  %d (%.1f MiB touched)\n",
+		len(lines), float64(len(lines))*64/(1<<20))
+	fmt.Printf("  sequentiality:     %.3f (same/next-line pairs)\n",
+		float64(seqPairs)/float64(records))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

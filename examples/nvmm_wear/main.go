@@ -1,0 +1,114 @@
+// NVMM wear: quantifies §2.2's claim that delta encoding is friendlier to
+// non-volatile main memory than split counters, by counting the extra
+// block writes that counter-overflow re-encryptions force under an
+// identical write stream.
+//
+// On NVMM every write consumes endurance, so a counter scheme that
+// re-encrypts a 4KB group on overflow amplifies wear: the application's
+// one write becomes 64 writes. This example replays the dedup-like
+// workload's post-LLC write stream against all three compact schemes and
+// reports write amplification.
+//
+// Run with:
+//
+//	go run ./examples/nvmm_wear
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"authmem"
+	"authmem/internal/ctr"
+	"authmem/internal/stats"
+	"authmem/internal/workload"
+)
+
+func main() {
+	app, ok := workload.ByName("dedup")
+	if !ok {
+		log.Fatal("dedup workload missing")
+	}
+	const writes = 8_000_000
+
+	fmt.Printf("replaying %dM DRAM writebacks of a dedup-like stream\n\n", writes/1_000_000)
+	tb := stats.NewTable("scheme", "re-encryptions", "extra block writes",
+		"write amplification", "resets", "re-encodes")
+	for _, kind := range []ctr.Kind{ctr.Split, ctr.Delta, ctr.DualLength} {
+		scheme, err := ctr.NewScheme(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen := app.WritebackGen(1)
+		for i := 0; i < writes; i++ {
+			scheme.Touch(gen.Next())
+		}
+		st := scheme.Stats()
+		amp := 1 + float64(st.ReencryptedBlocks)/float64(writes)
+		tb.AddRow(scheme.Name(), st.Reencryptions, st.ReencryptedBlocks,
+			fmt.Sprintf("%.4fx", amp), st.Resets, st.Reencodes)
+	}
+	fmt.Print(tb)
+	fmt.Println("\nEvery re-encryption rewrites a whole 4KB group (64 blocks). Delta")
+	fmt.Println("encoding's resets and re-encodes avoid most of them, and dual-length's")
+	fmt.Println("reserve absorbs single-subgroup hot spots entirely — the paper's")
+	fmt.Println("NVMM-friendliness argument (§2.2), quantified.")
+
+	powerCycle()
+}
+
+// powerCycle demonstrates the other NVMM property: the encrypted region,
+// its counters, and the integrity tree ARE the persistent state. A power
+// cycle is a Persist/Resume pair; rolling the medium back to an older image
+// is caught by pinning the root digest in trusted storage.
+func powerCycle() {
+	fmt.Println("\n--- NVMM power cycle ---")
+	cfg := authmem.DefaultConfig(4 << 20)
+	cfg.Key = make([]byte, authmem.KeySize)
+	if _, err := rand.Read(cfg.Key); err != nil {
+		log.Fatal(err)
+	}
+	mem, err := authmem.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	record := make([]byte, authmem.BlockSize)
+	copy(record, "balance: 1000")
+	if err := mem.Write(0, record); err != nil {
+		log.Fatal(err)
+	}
+	var oldImage bytes.Buffer
+	if _, err := mem.Persist(&oldImage); err != nil {
+		log.Fatal(err)
+	}
+	copy(record, "balance: 0   ")
+	if err := mem.Write(0, record); err != nil {
+		log.Fatal(err)
+	}
+	var curImage bytes.Buffer
+	digest, err := mem.Persist(&curImage)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Legitimate power cycle: resume the current image under the pinned
+	// digest.
+	resumed, err := authmem.Resume(cfg, bytes.NewReader(curImage.Bytes()), &digest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, authmem.BlockSize)
+	if _, err := resumed.Read(0, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed cleanly: %q\n", buf[:13])
+
+	// Attack: swap the NVMM module contents for the older image.
+	if _, err := authmem.Resume(cfg, bytes.NewReader(oldImage.Bytes()), &digest); err != nil {
+		fmt.Println("rollback to stale image rejected:", err)
+	} else {
+		log.Fatal("stale image resumed under the pinned digest!")
+	}
+}

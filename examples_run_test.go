@@ -1,0 +1,55 @@
+package authmem_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end — the examples
+// are part of the public contract, so they must keep running clean.
+// Skipped under -short (each invocation pays a build).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples exec test")
+	}
+	examples := []string{"quickstart", "secure_kvstore", "fault_injection", "nvmm_wear", "tree_designs"}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			done := make(chan struct{})
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			var out strings.Builder
+			cmd.Stdout, cmd.Stderr = &out, &out
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				select {
+				case <-done:
+				case <-time.After(3 * time.Minute):
+					_ = cmd.Process.Kill()
+				}
+			}()
+			err := cmd.Wait()
+			close(done)
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out.String())
+			}
+			if out.Len() == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+			// Examples log.Fatal on any broken security property, so a
+			// clean exit with output is the assertion; but also reject
+			// obvious distress words in what they printed.
+			for _, bad := range []string{"undetected", "succeeded!", "panic"} {
+				if strings.Contains(out.String(), bad) {
+					t.Fatalf("example %s output flags a failure:\n%s", name, out.String())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module authmem
+
+go 1.22

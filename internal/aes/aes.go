@@ -1,0 +1,195 @@
+// Package aes is a from-scratch implementation of the AES block cipher
+// (FIPS-197), encryption direction only — counter-mode memory encryption
+// and the MAC's PRF never decrypt a block, so the inverse cipher is
+// deliberately omitted.
+//
+// Everything is derived, not transcribed: the S-box is computed from the
+// GF(2^8) multiplicative inverse and the affine transform at package init,
+// and the round constants from repeated doubling. Tests pin the FIPS-197
+// vectors and cross-validate against crypto/aes over random inputs.
+//
+// Security note: like almost all table-based software AES, lookups are
+// data-dependent and therefore not constant-time. The hardware this
+// simulates (AES units in memory controllers) is; treat this package as a
+// functional model, which is all the simulator needs.
+package aes
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// sbox is the SubBytes table, generated in init from first principles.
+var sbox [256]byte
+
+// rcon holds the key-schedule round constants.
+var rcon [11]byte
+
+func init() {
+	// GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
+	mul := func(a, b byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if b&1 == 1 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1B
+			}
+			b >>= 1
+		}
+		return p
+	}
+	// Multiplicative inverses by brute force (init-time only).
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if mul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	// Affine transform: s = b ^ rot(b,4) ^ rot(b,5) ^ rot(b,6) ^ rot(b,7) ^ 0x63.
+	rotl := func(x byte, n uint) byte { return x<<n | x>>(8-n) }
+	for i := 0; i < 256; i++ {
+		b := inv[i]
+		sbox[i] = b ^ rotl(b, 1) ^ rotl(b, 2) ^ rotl(b, 3) ^ rotl(b, 4) ^ 0x63
+	}
+	// Round constants: rcon[i] = x^(i-1) in GF(2^8).
+	c := byte(1)
+	for i := 1; i < len(rcon); i++ {
+		rcon[i] = c
+		c = mul(c, 2)
+	}
+}
+
+// Cipher is an AES encryption-only block cipher. It implements
+// cipher.Block's BlockSize and Encrypt; Decrypt panics.
+type Cipher struct {
+	rounds int
+	rk     [][4]uint32 // round keys as column words
+}
+
+var _ cipher.Block = (*Cipher)(nil)
+
+// New expands an AES-128/192/256 key.
+func New(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, fmt.Errorf("aes: invalid key size %d", len(key))
+	}
+	nk := len(key) / 4
+	total := 4 * (rounds + 1)
+	w := make([]uint32, total)
+	for i := 0; i < nk; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	subWord := func(x uint32) uint32 {
+		return uint32(sbox[x>>24])<<24 | uint32(sbox[x>>16&0xFF])<<16 |
+			uint32(sbox[x>>8&0xFF])<<8 | uint32(sbox[x&0xFF])
+	}
+	for i := nk; i < total; i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(t<<8|t>>24) ^ uint32(rcon[i/nk])<<24
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	c := &Cipher{rounds: rounds, rk: make([][4]uint32, rounds+1)}
+	for r := 0; r <= rounds; r++ {
+		copy(c.rk[r][:], w[4*r:4*r+4])
+	}
+	return c, nil
+}
+
+// BlockSize implements cipher.Block.
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// xtime doubles a GF(2^8) element.
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1B
+	}
+	return b << 1
+}
+
+// Encrypt implements cipher.Block: dst = AES(src). dst and src must be 16
+// bytes and may alias.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	// State as 16 bytes in column-major order (FIPS-197 layout:
+	// state[r][c] = in[r + 4c]).
+	var s [16]byte
+	copy(s[:], src[:16])
+	addRoundKey(&s, &c.rk[0])
+	for r := 1; r < c.rounds; r++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, &c.rk[r])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, &c.rk[c.rounds])
+	copy(dst[:16], s[:])
+}
+
+// Decrypt implements cipher.Block but is intentionally unavailable:
+// counter-mode encryption and PRF evaluation only ever run the forward
+// cipher.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	panic("aes: decryption not implemented (CTR/PRF use only the forward cipher)")
+}
+
+func addRoundKey(s *[16]byte, rk *[4]uint32) {
+	for col := 0; col < 4; col++ {
+		w := rk[col]
+		s[4*col+0] ^= byte(w >> 24)
+		s[4*col+1] ^= byte(w >> 16)
+		s[4*col+2] ^= byte(w >> 8)
+		s[4*col+3] ^= byte(w)
+	}
+}
+
+func subBytes(s *[16]byte) {
+	for i, b := range s {
+		s[i] = sbox[b]
+	}
+}
+
+// shiftRows rotates row r left by r; with column-major state, row r is
+// bytes r, r+4, r+8, r+12.
+func shiftRows(s *[16]byte) {
+	s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+	s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+	s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+}
+
+func mixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c+0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+		s[4*c+1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+		s[4*c+2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+		s[4*c+3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+	}
+}

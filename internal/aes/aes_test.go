@@ -1,0 +1,177 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t testing.TB, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSBoxProperties(t *testing.T) {
+	// Known anchor values from FIPS-197.
+	if sbox[0x00] != 0x63 || sbox[0x01] != 0x7C || sbox[0x53] != 0xED || sbox[0xFF] != 0x16 {
+		t.Fatalf("sbox anchors wrong: %#x %#x %#x %#x",
+			sbox[0x00], sbox[0x01], sbox[0x53], sbox[0xFF])
+	}
+	// Bijective.
+	var seen [256]bool
+	for _, v := range sbox {
+		if seen[v] {
+			t.Fatal("sbox not a permutation")
+		}
+		seen[v] = true
+	}
+	// No fixed points or anti-fixed points (classic AES property).
+	for i, v := range sbox {
+		if int(v) == i || int(v) == i^0xFF {
+			t.Fatalf("sbox fixed point at %#x", i)
+		}
+	}
+}
+
+func TestRcon(t *testing.T) {
+	want := []byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+	for i, w := range want {
+		if rcon[i] != w {
+			t.Fatalf("rcon[%d] = %#x, want %#x", i, rcon[i], w)
+		}
+	}
+}
+
+// TestFIPS197Vectors pins the appendix-C known-answer tests for all three
+// key sizes.
+func TestFIPS197Vectors(t *testing.T) {
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	cases := []struct{ key, ct string }{
+		{"000102030405060708090a0b0c0d0e0f",
+			"69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"000102030405060708090a0b0c0d0e0f1011121314151617",
+			"dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			"8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, c := range cases {
+		blk, err := New(mustHex(t, c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		blk.Encrypt(got, pt)
+		if !bytes.Equal(got, mustHex(t, c.ct)) {
+			t.Fatalf("key %s: got %x, want %s", c.key, got, c.ct)
+		}
+	}
+}
+
+// TestAppendixB pins the FIPS-197 appendix-B worked example.
+func TestAppendixB(t *testing.T) {
+	blk, err := New(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	blk.Encrypt(got, mustHex(t, "3243f6a8885a308d313198a2e0370734"))
+	if want := mustHex(t, "3925841d02dc09fbdc118597196a0b32"); !bytes.Equal(got, want) {
+		t.Fatalf("got %x, want %x", got, want)
+	}
+}
+
+// TestMatchesStdlib cross-validates against crypto/aes over random keys and
+// blocks for every key size.
+func TestMatchesStdlib(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		keyLen := keyLen
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			key := make([]byte, keyLen)
+			rng.Read(key)
+			pt := make([]byte, 16)
+			rng.Read(pt)
+			ours, err := New(key)
+			if err != nil {
+				return false
+			}
+			ref, err := stdaes.NewCipher(key)
+			if err != nil {
+				return false
+			}
+			a := make([]byte, 16)
+			b := make([]byte, 16)
+			ours.Encrypt(a, pt)
+			ref.Encrypt(b, pt)
+			return bytes.Equal(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("key size %d: %v", keyLen, err)
+		}
+	}
+}
+
+func TestNewRejectsBadKeys(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 31, 33} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestEncryptInPlace(t *testing.T) {
+	blk, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := make([]byte, 16)
+	blk.Encrypt(want, buf)
+	blk.Encrypt(buf, buf) // aliased
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place encryption differs")
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	blk, _ := New(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short block should panic (cipher.Block contract)")
+		}
+	}()
+	blk.Encrypt(make([]byte, 8), make([]byte, 8))
+}
+
+func TestDecryptPanics(t *testing.T) {
+	blk, _ := New(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decrypt should panic: not implemented by design")
+		}
+	}()
+	blk.Decrypt(make([]byte, 16), make([]byte, 16))
+}
+
+func TestBlockSize(t *testing.T) {
+	blk, _ := New(make([]byte, 16))
+	if blk.BlockSize() != 16 {
+		t.Fatal("block size wrong")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	blk, _ := New(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		blk.Encrypt(buf, buf)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"authmem/internal/macecc"
+	"authmem/internal/tree"
+)
+
+// This file is the adversary's (and the fault injector's) interface to the
+// engine: every byte an attacker with physical DRAM access could touch is
+// reachable here, and nothing inside the trust boundary is.
+
+// TamperCiphertext flips one bit of a stored ciphertext block. It models
+// both a bus/cold-boot attack and a DRAM fault, which are indistinguishable
+// to the controller.
+func (e *Engine) TamperCiphertext(addr uint64, bit int) error {
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= BlockBytes*8 {
+		return fmt.Errorf("core: bit %d out of range", bit)
+	}
+	ct, ok := e.data[blk]
+	if !ok {
+		return fmt.Errorf("core: block %#x not resident", addr)
+	}
+	ct[bit/8] ^= 1 << uint(bit%8)
+	return nil
+}
+
+// TamperECCLane flips one of the 64 ECC-lane bits of a block (MAC-in-ECC
+// placement only).
+func (e *Engine) TamperECCLane(addr uint64, bit int) error {
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return err
+	}
+	if e.cfg.Placement != MACInECC {
+		return fmt.Errorf("core: ECC lane only exists under MACInECC")
+	}
+	meta, ok := e.eccMeta[blk]
+	if !ok {
+		return fmt.Errorf("core: block %#x not resident", addr)
+	}
+	e.eccMeta[blk] = meta.Flip(bit)
+	return nil
+}
+
+// TamperInlineTag flips one bit of a block's stored MAC tag (baseline
+// placement only).
+func (e *Engine) TamperInlineTag(addr uint64, bit int) error {
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return err
+	}
+	if e.cfg.Placement != MACInline {
+		return fmt.Errorf("core: inline tags only exist under MACInline")
+	}
+	if bit < 0 || bit >= 64 {
+		return fmt.Errorf("core: bit %d out of range", bit)
+	}
+	if _, ok := e.inlineTag[blk]; !ok {
+		return fmt.Errorf("core: block %#x not resident", addr)
+	}
+	e.inlineTag[blk] ^= 1 << uint(bit)
+	return nil
+}
+
+// TamperCounterBlock flips one bit of a stored counter-block image — the
+// attack Bonsai Merkle trees exist to catch.
+func (e *Engine) TamperCounterBlock(midx uint64, bit int) error {
+	if e.cfg.DisableEncryption {
+		return fmt.Errorf("core: no metadata when encryption is disabled")
+	}
+	if midx >= e.tr.Leaves() {
+		return fmt.Errorf("core: metadata block %d out of range", midx)
+	}
+	if bit < 0 || bit >= BlockBytes*8 {
+		return fmt.Errorf("core: bit %d out of range", bit)
+	}
+	img, ok := e.metaImages[midx]
+	if !ok {
+		img = new([BlockBytes]byte)
+		e.metaImages[midx] = img
+	}
+	img[bit/8] ^= 1 << uint(bit%8)
+	return nil
+}
+
+// TamperTreeNode flips one bit of an off-chip tree node.
+func (e *Engine) TamperTreeNode(id tree.NodeID, bit int) error {
+	if e.cfg.DisableEncryption {
+		return fmt.Errorf("core: no tree when encryption is disabled")
+	}
+	return e.tr.CorruptNode(id, bit)
+}
+
+// BlockSnapshot captures everything an attacker can record about one block
+// for a later replay: ciphertext, MAC storage, and its counter-block image.
+type BlockSnapshot struct {
+	addr       uint64
+	hasData    bool
+	ciphertext [BlockBytes]byte
+	eccMeta    macecc.Meta
+	inlineTag  uint64
+	dataCheck  [8]uint8
+	counterImg [BlockBytes]byte
+}
+
+// Snapshot records the DRAM-visible state of a block.
+func (e *Engine) Snapshot(addr uint64) (BlockSnapshot, error) {
+	var s BlockSnapshot
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return s, err
+	}
+	s.addr = addr
+	if ct, ok := e.data[blk]; ok {
+		s.hasData = true
+		s.ciphertext = *ct
+		s.eccMeta = e.eccMeta[blk]
+		s.inlineTag = e.inlineTag[blk]
+		if c := e.dataCheck[blk]; c != nil {
+			s.dataCheck = *c
+		}
+	}
+	s.counterImg = *e.metaImage(e.scheme.MetadataBlock(blk))
+	return s, nil
+}
+
+// Replay restores a previous snapshot into DRAM — data, MAC bits, and the
+// counter block together, the §2.1 replay attack. The tree (whose top level
+// the attacker cannot reach) is left as-is, so a subsequent Read must fail.
+func (e *Engine) Replay(s BlockSnapshot) error {
+	return e.replayAt(s, s.addr)
+}
+
+// Splice plants a snapshot's data and MAC bits at a *different* address —
+// the block-relocation attack. The counter block is not moved (it covers
+// the original address range); the address-bound MAC is what must catch
+// this.
+func (e *Engine) Splice(s BlockSnapshot, addr uint64) error {
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return err
+	}
+	if !s.hasData {
+		return fmt.Errorf("core: snapshot holds no data to splice")
+	}
+	ct := new([BlockBytes]byte)
+	*ct = s.ciphertext
+	e.data[blk] = ct
+	if e.cfg.Placement == MACInECC {
+		e.eccMeta[blk] = s.eccMeta
+	} else {
+		e.inlineTag[blk] = s.inlineTag
+		check := new([8]uint8)
+		*check = s.dataCheck
+		e.dataCheck[blk] = check
+	}
+	return nil
+}
+
+func (e *Engine) replayAt(s BlockSnapshot, addr uint64) error {
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return err
+	}
+	if s.hasData {
+		ct := new([BlockBytes]byte)
+		*ct = s.ciphertext
+		e.data[blk] = ct
+		if e.cfg.Placement == MACInECC {
+			e.eccMeta[blk] = s.eccMeta
+		} else {
+			e.inlineTag[blk] = s.inlineTag
+			check := new([8]uint8)
+			*check = s.dataCheck
+			e.dataCheck[blk] = check
+		}
+	}
+	img := new([BlockBytes]byte)
+	*img = s.counterImg
+	e.metaImages[e.scheme.MetadataBlock(blk)] = img
+	return nil
+}
+
+func (e *Engine) attackBlock(addr uint64) (uint64, error) {
+	if e.cfg.DisableEncryption {
+		return 0, fmt.Errorf("core: nothing to attack when encryption is disabled")
+	}
+	if err := e.checkAddr(addr); err != nil {
+		return 0, err
+	}
+	return addr / BlockBytes, nil
+}
+
+// ScrubReport summarizes one patrol-scrub pass (§3.3).
+type ScrubReport struct {
+	// BlocksScanned is the number of resident blocks checked.
+	BlocksScanned int
+	// ParityFlagged is how many failed the 1-bit parity scan.
+	ParityFlagged int
+	// Corrected is how many were repaired by the follow-up
+	// flip-and-check.
+	Corrected int
+	// Uncorrectable is how many could not be repaired.
+	Uncorrectable int
+}
+
+// Scrub runs a patrol-scrubber pass over all resident blocks (MAC-in-ECC
+// placement): the cheap parity bit screens each block; only parity
+// mismatches pay for a full MAC verification and correction. Even-weight
+// faults are invisible to the parity screen — by design; the next demand
+// read still catches them.
+func (e *Engine) Scrub() (ScrubReport, error) {
+	var r ScrubReport
+	if e.cfg.DisableEncryption || e.cfg.Placement != MACInECC {
+		return r, fmt.Errorf("core: scrubbing requires MACInECC")
+	}
+	e.stats.ScrubPasses++
+	for blk, ct := range e.data {
+		r.BlocksScanned++
+		meta := e.eccMeta[blk]
+		// Two one-XOR-tree screens (§3.3): data parity and the MAC
+		// codeword's own parity.
+		if macecc.Scrub(ct[:], meta) && macecc.ScrubMeta(meta) {
+			continue
+		}
+		r.ParityFlagged++
+		e.stats.ScrubFlagged++
+		midx := e.scheme.MetadataBlock(blk)
+		counter, err := e.decodeCounter(e.metaImage(midx), blk)
+		if err != nil {
+			r.Uncorrectable++
+			continue
+		}
+		out, err := e.ver.VerifyAndCorrect(ct[:], &meta, blk*BlockBytes, counter)
+		if err != nil {
+			return r, err
+		}
+		if out.Status == macecc.OK {
+			e.eccMeta[blk] = meta
+			if out.CorrectedDataBits > 0 || out.CorrectedMACBits > 0 {
+				r.Corrected++
+			}
+		} else {
+			r.Uncorrectable++
+		}
+	}
+	return r, nil
+}

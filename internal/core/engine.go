@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+
+	"authmem/internal/ctr"
+	"authmem/internal/ecc"
+	"authmem/internal/keystream"
+	"authmem/internal/mac"
+	"authmem/internal/macecc"
+	"authmem/internal/tree"
+)
+
+// Engine is a functional authenticated encrypted memory.
+//
+// The "DRAM contents" an attacker can touch are: ciphertext blocks, their
+// ECC-lane bits (MAC-in-ECC) or inline MAC tags + SEC-DED bytes (baseline),
+// counter-block images, and off-chip tree nodes. All are exposed through
+// tamper APIs. The trust boundary holds the keys, the scheme state machine,
+// and the top tree level.
+//
+// Uninitialized blocks read as zeros. When a group re-encryption sweeps
+// over a block that was never written, the engine materializes it as an
+// encrypted zero block — exactly the write traffic a hardware re-encryption
+// engine would emit, which is what the NVMM wear accounting (§2.2) counts.
+type Engine struct {
+	cfg    Config
+	scheme ctr.Scheme
+	packer ctr.MetadataPacker
+	tr     *tree.Tree
+	ks     *keystream.Cipher
+	key    *mac.Key
+	ver    *macecc.Verifier
+
+	data       map[uint64]*[BlockBytes]byte // ciphertext per block index
+	eccMeta    map[uint64]macecc.Meta       // MAC-in-ECC lane bits
+	inlineTag  map[uint64]uint64            // baseline MAC tags
+	dataCheck  map[uint64]*[8]uint8         // baseline SEC-DED bytes
+	metaImages map[uint64]*[BlockBytes]byte // counter-block storage
+
+	// pendingWrite is the block index currently being written, so the
+	// re-encryption hook does not emit a stale ciphertext for it under
+	// the new counter (hardware merges the in-flight write instead).
+	pendingWrite    uint64
+	hasPendingWrite bool
+
+	stats EngineStats
+}
+
+// EngineStats aggregates functional-engine events.
+type EngineStats struct {
+	Reads             uint64
+	Writes            uint64
+	FreshReads        uint64 // reads of never-written blocks
+	IntegrityFailures uint64
+	CorrectedDataBits uint64
+	CorrectedMACBits  uint64
+	SECDEDCorrected   uint64 // baseline word corrections
+	ScrubPasses       uint64
+	ScrubFlagged      uint64
+}
+
+// ReadInfo describes one successful read.
+type ReadInfo struct {
+	// Fresh is true when the block was never written (zeros returned).
+	Fresh bool
+	// CorrectedDataBits / CorrectedMACBits report repairs applied.
+	CorrectedDataBits int
+	CorrectedMACBits  int
+	// HardwareChecks is the flip-and-check cost (MAC-in-ECC only).
+	HardwareChecks int
+}
+
+// NewEngine builds a functional engine for the configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		data:       make(map[uint64]*[BlockBytes]byte),
+		eccMeta:    make(map[uint64]macecc.Meta),
+		inlineTag:  make(map[uint64]uint64),
+		dataCheck:  make(map[uint64]*[8]uint8),
+		metaImages: make(map[uint64]*[BlockBytes]byte),
+	}
+	if cfg.DisableEncryption {
+		return e, nil
+	}
+
+	scheme, err := ctr.NewScheme(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	e.scheme = scheme
+	packer, ok := scheme.(ctr.MetadataPacker)
+	if !ok {
+		return nil, fmt.Errorf("core: scheme %s cannot pack metadata", scheme.Name())
+	}
+	e.packer = packer
+
+	e.key, err = mac.NewKey(cfg.KeyMaterial[:24])
+	if err != nil {
+		return nil, err
+	}
+	e.ks, err = keystream.New(cfg.KeyMaterial[24:40])
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Placement == MACInECC {
+		e.ver, err = macecc.NewVerifier(e.key, cfg.CorrectBits)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	leaves := scheme.MetadataBlocks(cfg.DataBlocks())
+	if cfg.DataTree {
+		// Classic design: data blocks are leaves too; counter blocks
+		// follow them in the leaf index space.
+		leaves += cfg.DataBlocks()
+	}
+	e.tr, err = tree.New(e.key, leaves, cfg.OnChipTreeBytes)
+	if err != nil {
+		return nil, err
+	}
+	zero := make([]byte, BlockBytes)
+	if err := e.tr.Rebuild(func(uint64) []byte { return zero }); err != nil {
+		return nil, err
+	}
+
+	scheme.OnReencrypt(e.reencryptGroup)
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns cumulative event counts.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// SchemeStats returns the counter scheme's event counts (re-encryptions,
+// resets, re-encodes, extensions).
+func (e *Engine) SchemeStats() ctr.Stats {
+	if e.scheme == nil {
+		return ctr.Stats{}
+	}
+	return e.scheme.Stats()
+}
+
+// Tree exposes the integrity tree for attack experiments.
+func (e *Engine) Tree() *tree.Tree { return e.tr }
+
+func (e *Engine) checkAddr(addr uint64) error {
+	if addr%BlockBytes != 0 {
+		return fmt.Errorf("core: address %#x not %d-byte aligned", addr, BlockBytes)
+	}
+	if addr >= e.cfg.RegionBytes {
+		return fmt.Errorf("core: address %#x outside %d-byte region", addr, e.cfg.RegionBytes)
+	}
+	return nil
+}
+
+// Write encrypts and stores one 64-byte block at the (aligned) address.
+func (e *Engine) Write(addr uint64, plaintext []byte) error {
+	if err := e.checkAddr(addr); err != nil {
+		return err
+	}
+	if len(plaintext) != BlockBytes {
+		return fmt.Errorf("core: write must be %d bytes, got %d", BlockBytes, len(plaintext))
+	}
+	blk := addr / BlockBytes
+	e.stats.Writes++
+
+	if e.cfg.DisableEncryption {
+		var buf [BlockBytes]byte
+		copy(buf[:], plaintext)
+		e.data[blk] = &buf
+		return nil
+	}
+
+	e.pendingWrite, e.hasPendingWrite = blk, true
+	out := e.scheme.Touch(blk)
+	e.hasPendingWrite = false
+
+	if err := e.storeBlock(blk, plaintext, out.Counter); err != nil {
+		return err
+	}
+	return e.commitMetadata(e.scheme.MetadataBlock(blk))
+}
+
+// storeBlock encrypts plaintext under counter and installs ciphertext + MAC
+// (and, in baseline mode, SEC-DED bytes). Under the classic data-tree
+// design it also refreshes the block's tree leaf.
+func (e *Engine) storeBlock(blk uint64, plaintext []byte, counter uint64) error {
+	addr := blk * BlockBytes
+	buf := new([BlockBytes]byte)
+	if err := e.ks.XOR(buf[:], plaintext, addr, counter); err != nil {
+		return err
+	}
+	tag, err := e.key.Tag(buf[:], addr, counter)
+	if err != nil {
+		return err
+	}
+	e.data[blk] = buf
+	if e.cfg.Placement == MACInECC {
+		e.eccMeta[blk] = macecc.PackMeta(tag, buf[:])
+	} else {
+		e.inlineTag[blk] = tag
+		check, err := ecc.EncodeBlock(buf[:])
+		if err != nil {
+			return err
+		}
+		e.dataCheck[blk] = &check
+	}
+	if e.cfg.DataTree {
+		if _, err := e.tr.UpdateLeaf(blk, buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metaLeaf maps a metadata block index to its tree leaf. Under the classic
+// data-tree design, data blocks occupy leaves [0, DataBlocks) and counter
+// blocks follow.
+func (e *Engine) metaLeaf(midx uint64) uint64 {
+	if e.cfg.DataTree {
+		return e.cfg.DataBlocks() + midx
+	}
+	return midx
+}
+
+// commitMetadata refreshes the stored counter-block image and the tree path
+// above it.
+func (e *Engine) commitMetadata(midx uint64) error {
+	img := e.packer.PackMetadata(midx)
+	stored := new([BlockBytes]byte)
+	copy(stored[:], img[:])
+	e.metaImages[midx] = stored
+	_, err := e.tr.UpdateLeaf(e.metaLeaf(midx), img[:])
+	return err
+}
+
+// reencryptGroup is the scheme's re-encryption hook: decrypt every block of
+// the group under its old counter and re-encrypt under the shared new one.
+func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCounter uint64) {
+	for j, oldCtr := range oldCounters {
+		blk := groupStart + uint64(j)
+		if blk >= e.cfg.DataBlocks() {
+			break
+		}
+		if e.hasPendingWrite && blk == e.pendingWrite {
+			continue // the in-flight write supplies fresh data
+		}
+		var pt [BlockBytes]byte
+		if ct, ok := e.data[blk]; ok {
+			addr := blk * BlockBytes
+			if err := e.ks.XOR(pt[:], ct[:], addr, oldCtr); err != nil {
+				panic(err) // sizes are fixed; cannot fail
+			}
+		}
+		// Never-written blocks materialize as encrypted zeros.
+		if err := e.storeBlock(blk, pt[:], newCounter); err != nil {
+			panic(err)
+		}
+	}
+	// The caller (Touch -> Write) commits the metadata image afterwards.
+}
+
+// Read verifies, decrypts, and returns one 64-byte block.
+// Correctable memory faults are repaired in place (write-back scrubbing);
+// integrity violations return an *IntegrityError.
+func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
+	var info ReadInfo
+	if err := e.checkAddr(addr); err != nil {
+		return info, err
+	}
+	if len(dst) != BlockBytes {
+		return info, fmt.Errorf("core: read buffer must be %d bytes, got %d", BlockBytes, len(dst))
+	}
+	blk := addr / BlockBytes
+	e.stats.Reads++
+
+	if e.cfg.DisableEncryption {
+		if ct, ok := e.data[blk]; ok {
+			copy(dst, ct[:])
+		} else {
+			zeroFill(dst)
+			info.Fresh = true
+		}
+		return info, nil
+	}
+
+	// Fetch and freshness-check the counter.
+	midx := e.scheme.MetadataBlock(blk)
+	img := e.metaImage(midx)
+	if _, err := e.tr.VerifyLeaf(e.metaLeaf(midx), img[:]); err != nil {
+		e.stats.IntegrityFailures++
+		return info, &IntegrityError{Addr: addr, Reason: "counter metadata failed integrity tree check: " + err.Error()}
+	}
+	counter, err := e.decodeCounter(img, blk)
+	if err != nil {
+		e.stats.IntegrityFailures++
+		return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error()}
+	}
+
+	ct, ok := e.data[blk]
+	if !ok {
+		if counter != 0 {
+			e.stats.IntegrityFailures++
+			return info, &IntegrityError{Addr: addr, Reason: "counter advanced but block missing"}
+		}
+		zeroFill(dst)
+		info.Fresh = true
+		e.stats.FreshReads++
+		return info, nil
+	}
+
+	switch e.cfg.Placement {
+	case MACInECC:
+		meta := e.eccMeta[blk]
+		out, err := e.ver.VerifyAndCorrect(ct[:], &meta, addr, counter)
+		if err != nil {
+			return info, err
+		}
+		info.HardwareChecks = out.HardwareChecks
+		if out.Status != macecc.OK {
+			e.stats.IntegrityFailures++
+			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed (tamper or uncorrectable fault)"}
+		}
+		info.CorrectedDataBits = out.CorrectedDataBits
+		info.CorrectedMACBits = out.CorrectedMACBits
+		e.stats.CorrectedDataBits += uint64(out.CorrectedDataBits)
+		e.stats.CorrectedMACBits += uint64(out.CorrectedMACBits)
+		e.eccMeta[blk] = meta // corrected bits written back
+
+	default: // MACInline baseline: SEC-DED first, then the MAC.
+		check := e.dataCheck[blk]
+		if check == nil {
+			check = new([8]uint8)
+		}
+		outcome, err := ecc.DecodeBlock(ct[:], check)
+		if err != nil {
+			return info, err
+		}
+		if !outcome.Clean() {
+			e.stats.IntegrityFailures++
+			return info, &IntegrityError{Addr: addr, Reason: "uncorrectable SEC-DED memory error"}
+		}
+		info.CorrectedDataBits = outcome.CorrectedBits
+		e.stats.SECDEDCorrected += uint64(outcome.CorrectedBits)
+		okTag, err := e.key.Verify(ct[:], addr, counter, e.inlineTag[blk])
+		if err != nil {
+			return info, err
+		}
+		if !okTag {
+			e.stats.IntegrityFailures++
+			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed"}
+		}
+	}
+
+	// Classic data-tree design: the (possibly just-repaired) ciphertext
+	// must also verify against its tree leaf — this is the per-access
+	// tree walk BMTs exist to avoid.
+	if e.cfg.DataTree {
+		if _, err := e.tr.VerifyLeaf(blk, ct[:]); err != nil {
+			e.stats.IntegrityFailures++
+			return info, &IntegrityError{Addr: addr, Reason: "data block failed integrity tree check: " + err.Error()}
+		}
+	}
+
+	if err := e.ks.XOR(dst, ct[:], addr, counter); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+func (e *Engine) metaImage(midx uint64) *[BlockBytes]byte {
+	if img, ok := e.metaImages[midx]; ok {
+		return img
+	}
+	return new([BlockBytes]byte)
+}
+
+// decodeCounter extracts a block's counter from the stored (attacker-
+// reachable) metadata image, using the scheme's hardware decode path.
+func (e *Engine) decodeCounter(img *[BlockBytes]byte, blk uint64) (uint64, error) {
+	slot := int(blk % uint64(e.scheme.GroupSize()))
+	switch e.cfg.Scheme {
+	case ctr.Monolithic:
+		counters := ctr.UnpackMonolithic(*img)
+		return counters[blk%ctr.CountersPerMetadataBlock], nil
+	case ctr.Split:
+		major, minors := ctr.UnpackSplit(*img)
+		return major<<ctr.MinorBits | uint64(minors[slot]), nil
+	case ctr.Delta:
+		return ctr.DecodeCounter(*img, slot)
+	case ctr.DualLength:
+		return ctr.DecodeDualCounter(*img, slot)
+	default:
+		return 0, fmt.Errorf("core: unknown scheme kind")
+	}
+}
+
+func zeroFill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"authmem/internal/ctr"
+	"authmem/internal/macecc"
+)
+
+// Persistence for non-volatile main memory (§2.2): the encrypted region,
+// its ECC/MAC bits, the counter blocks, and the integrity tree survive
+// power-off exactly as they would in NVMM, and Resume rebuilds a working
+// engine from them — verifying every counter block against the tree before
+// accepting it.
+//
+// Threat model on resume: everything in the image is untrusted EXCEPT that
+// the caller may pin the freshness root by passing the RootDigest returned
+// at persist time (stored in trusted NVM / a TPM in a real deployment).
+// Without the pin, an attacker who controls the storage can roll the whole
+// memory back to an older complete snapshot — the one attack no integrity
+// tree can stop from inside the untrusted medium.
+
+// persistMagic identifies engine images (format version 1).
+var persistMagic = [8]byte{'A', 'M', 'E', 'M', 'P', 'S', 'T', '1'}
+
+// RootDigest pins the integrity tree's trusted top level.
+type RootDigest [sha256.Size]byte
+
+// Persist writes the engine's DRAM-visible state to w and returns the
+// digest of the tree's trusted top level.
+func (e *Engine) Persist(w io.Writer) (RootDigest, error) {
+	var digest RootDigest
+	if e.cfg.DisableEncryption {
+		return digest, fmt.Errorf("core: nothing meaningful to persist with encryption disabled")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(persistMagic[:]); err != nil {
+		return digest, err
+	}
+
+	// Config fingerprint, so Resume can reject mismatched geometry.
+	hdr := []uint64{
+		uint64(e.cfg.Scheme), uint64(e.cfg.Placement), e.cfg.RegionBytes,
+		uint64(e.cfg.CorrectBits), uint64(e.cfg.OnChipTreeBytes),
+		boolU64(e.cfg.DataTree),
+	}
+	for _, v := range hdr {
+		if err := writeU64(bw, v); err != nil {
+			return digest, err
+		}
+	}
+
+	// Data blocks, sorted for a deterministic image.
+	blocks := make([]uint64, 0, len(e.data))
+	for blk := range e.data {
+		blocks = append(blocks, blk)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	if err := writeU64(bw, uint64(len(blocks))); err != nil {
+		return digest, err
+	}
+	for _, blk := range blocks {
+		if err := writeU64(bw, blk); err != nil {
+			return digest, err
+		}
+		if _, err := bw.Write(e.data[blk][:]); err != nil {
+			return digest, err
+		}
+		if e.cfg.Placement == MACInECC {
+			if err := writeU64(bw, uint64(e.eccMeta[blk])); err != nil {
+				return digest, err
+			}
+		} else {
+			if err := writeU64(bw, e.inlineTag[blk]); err != nil {
+				return digest, err
+			}
+			check := e.dataCheck[blk]
+			if check == nil {
+				check = new([8]uint8)
+			}
+			if _, err := bw.Write(check[:]); err != nil {
+				return digest, err
+			}
+		}
+	}
+
+	// Counter-block images.
+	midxs := make([]uint64, 0, len(e.metaImages))
+	for m := range e.metaImages {
+		midxs = append(midxs, m)
+	}
+	sort.Slice(midxs, func(i, j int) bool { return midxs[i] < midxs[j] })
+	if err := writeU64(bw, uint64(len(midxs))); err != nil {
+		return digest, err
+	}
+	for _, m := range midxs {
+		if err := writeU64(bw, m); err != nil {
+			return digest, err
+		}
+		if _, err := bw.Write(e.metaImages[m][:]); err != nil {
+			return digest, err
+		}
+	}
+
+	// Integrity tree (all levels; the top level is additionally pinned
+	// by the returned digest).
+	if _, err := e.tr.WriteTo(bw); err != nil {
+		return digest, err
+	}
+	digest = sha256.Sum256(e.tr.TopLevel())
+	return digest, bw.Flush()
+}
+
+// Resume rebuilds an engine from a persisted image. cfg must match the
+// persisting configuration (including the key material, which is never
+// stored). If expectRoot is non-nil, the restored tree's top level must
+// hash to it — this is the rollback defense; see the package comment.
+// Every counter block in the image is verified against the tree before the
+// engine accepts it.
+func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DisableEncryption {
+		return nil, fmt.Errorf("core: cannot resume with encryption disabled")
+	}
+	br := bufio.NewReader(r)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading image header: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("core: not an engine image")
+	}
+	want := []uint64{
+		uint64(cfg.Scheme), uint64(cfg.Placement), cfg.RegionBytes,
+		uint64(cfg.CorrectBits), uint64(cfg.OnChipTreeBytes),
+		boolU64(cfg.DataTree),
+	}
+	for i, w := range want {
+		got, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		if got != w {
+			return nil, fmt.Errorf("core: image config field %d is %d, config says %d", i, got, w)
+		}
+	}
+
+	nBlocks, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > cfg.DataBlocks() {
+		return nil, fmt.Errorf("core: image claims %d blocks, region holds %d", nBlocks, cfg.DataBlocks())
+	}
+	for i := uint64(0); i < nBlocks; i++ {
+		blk, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		if blk >= cfg.DataBlocks() {
+			return nil, fmt.Errorf("core: image block %d out of region", blk)
+		}
+		ct := new([BlockBytes]byte)
+		if _, err := io.ReadFull(br, ct[:]); err != nil {
+			return nil, err
+		}
+		e.data[blk] = ct
+		if cfg.Placement == MACInECC {
+			meta, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			e.eccMeta[blk] = macecc.Meta(meta)
+		} else {
+			tag, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			e.inlineTag[blk] = tag
+			check := new([8]uint8)
+			if _, err := io.ReadFull(br, check[:]); err != nil {
+				return nil, err
+			}
+			e.dataCheck[blk] = check
+		}
+	}
+
+	nMeta, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	loader, ok := e.scheme.(ctr.MetadataLoader)
+	if !ok {
+		return nil, fmt.Errorf("core: scheme %s cannot restore metadata", e.scheme.Name())
+	}
+	if nMeta > e.tr.Leaves() {
+		return nil, fmt.Errorf("core: image claims %d metadata blocks, tree has %d leaves", nMeta, e.tr.Leaves())
+	}
+	midxs := make([]uint64, 0, nMeta)
+	for i := uint64(0); i < nMeta; i++ {
+		m, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		if m >= e.tr.Leaves() {
+			return nil, fmt.Errorf("core: image metadata block %d out of range", m)
+		}
+		img := new([BlockBytes]byte)
+		if _, err := io.ReadFull(br, img[:]); err != nil {
+			return nil, err
+		}
+		e.metaImages[m] = img
+		midxs = append(midxs, m)
+	}
+
+	if _, err := e.tr.ReadFrom(br); err != nil {
+		return nil, err
+	}
+	if expectRoot != nil {
+		got := sha256.Sum256(e.tr.TopLevel())
+		if got != *expectRoot {
+			return nil, &IntegrityError{Reason: "persistent image root digest mismatch (rollback or corruption)"}
+		}
+	}
+
+	// Verify every restored counter block against the tree before
+	// trusting it, then rebuild the scheme state machines from the
+	// verified images.
+	for _, m := range midxs {
+		img := e.metaImages[m]
+		if _, err := e.tr.VerifyLeaf(e.metaLeaf(m), img[:]); err != nil {
+			e.stats.IntegrityFailures++
+			return nil, &IntegrityError{
+				Addr:   m * BlockBytes,
+				Reason: "persistent counter block failed tree verification: " + err.Error(),
+			}
+		}
+		if err := loader.LoadMetadata(m, *img); err != nil {
+			return nil, &IntegrityError{
+				Addr:   m * BlockBytes,
+				Reason: "persistent counter block undecodable: " + err.Error(),
+			}
+		}
+	}
+	return e, nil
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("core: truncated image: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

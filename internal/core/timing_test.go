@@ -1,0 +1,358 @@
+package core
+
+import (
+	"testing"
+
+	"authmem/internal/ctr"
+	"authmem/internal/dram"
+)
+
+func newTM(t testing.TB, cfg Config) *TimingModel {
+	t.Helper()
+	tm, err := NewTimingModel(cfg, dram.MustNew(dram.DDR3_1600(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func paperCfg(scheme ctr.Kind, placement MACPlacement) Config {
+	return Default(scheme, placement) // full 512MB region
+}
+
+func TestNewTimingModelValidation(t *testing.T) {
+	if _, err := NewTimingModel(Config{}, dram.MustNew(dram.DDR3_1600(1))); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	if _, err := NewTimingModel(paperCfg(ctr.Delta, MACInECC), nil); err == nil {
+		t.Fatal("nil DRAM should fail")
+	}
+}
+
+// TestTreeDepthMatchesPaper reproduces §5.2: 5 off-chip levels (counting the
+// counter block) for the monolithic baseline, 4 for delta encoding, over a
+// 512MB region with a 3KB on-chip root.
+func TestTreeDepthMatchesPaper(t *testing.T) {
+	mono := newTM(t, paperCfg(ctr.Monolithic, MACInline))
+	if got := mono.OffChipTreeLevels() + 1; got != 5 {
+		t.Errorf("monolithic depth = %d, want 5", got)
+	}
+	delta := newTM(t, paperCfg(ctr.Delta, MACInECC))
+	if got := delta.OffChipTreeLevels() + 1; got != 4 {
+		t.Errorf("delta depth = %d, want 4", got)
+	}
+	split := newTM(t, paperCfg(ctr.Split, MACInline))
+	if got := split.OffChipTreeLevels() + 1; got != 4 {
+		t.Errorf("split depth = %d, want 4", got)
+	}
+}
+
+func TestDisabledEncryptionIsRawDRAM(t *testing.T) {
+	cfg := paperCfg(ctr.Delta, MACInECC)
+	cfg.DisableEncryption = true
+	cfg.KeyMaterial = nil
+	tm := newTM(t, cfg)
+	mem := dram.MustNew(dram.DDR3_1600(4))
+	want := mem.Access(0, 0x1000, false)
+	if got := tm.ReadMiss(0, 0x1000); got != want {
+		t.Fatalf("disabled read = %d, raw DRAM = %d", got, want)
+	}
+	if tm.OffChipTreeLevels() != 0 {
+		t.Fatal("disabled model should have no tree")
+	}
+}
+
+func TestColdReadMissCosts(t *testing.T) {
+	// A cold read under the baseline pays: data read + counter read +
+	// full tree walk + MAC read. Under MAC-in-ECC with the same state it
+	// skips the MAC transaction.
+	base := newTM(t, paperCfg(ctr.Monolithic, MACInline))
+	base.ReadMiss(0, 0x10000)
+	bs := base.Stats()
+	if bs.DataReads != 1 || bs.CounterReads != 1 || bs.MACReads != 1 {
+		t.Fatalf("baseline stats %+v", bs)
+	}
+	if bs.TreeReads != uint64(base.OffChipTreeLevels()) {
+		t.Fatalf("cold walk read %d tree nodes, want %d", bs.TreeReads, base.OffChipTreeLevels())
+	}
+
+	ecc := newTM(t, paperCfg(ctr.Monolithic, MACInECC))
+	ecc.ReadMiss(0, 0x10000)
+	es := ecc.Stats()
+	if es.MACReads != 0 {
+		t.Fatalf("MAC-in-ECC issued %d MAC reads", es.MACReads)
+	}
+	if es.Transactions() >= bs.Transactions() {
+		t.Fatalf("MAC-in-ECC (%d txns) not cheaper than baseline (%d)",
+			es.Transactions(), bs.Transactions())
+	}
+}
+
+func TestWarmReadHitsMetadataCache(t *testing.T) {
+	tm := newTM(t, paperCfg(ctr.Delta, MACInECC))
+	tm.ReadMiss(0, 0x2000)
+	before := tm.Stats().Transactions()
+	// Same block again: counter + tree path now cached; only data read.
+	tm.ReadMiss(100000, 0x2000)
+	after := tm.Stats()
+	if after.Transactions() != before+1 {
+		t.Fatalf("warm read issued %d extra transactions, want 1",
+			after.Transactions()-before)
+	}
+	if after.DataReads != 2 {
+		t.Fatalf("stats %+v", after)
+	}
+}
+
+func TestWarmReadLatencyLowerThanCold(t *testing.T) {
+	tm := newTM(t, paperCfg(ctr.Delta, MACInline))
+	coldDone := tm.ReadMiss(0, 0x3000)
+	// Re-access within the first refresh interval (tREFI = 6240 memory
+	// cycles = ~25k CPU cycles), so the row buffer is still warm.
+	start := uint64(10000)
+	warmDone := tm.ReadMiss(start, 0x3000)
+	if warmDone-start >= coldDone {
+		t.Fatalf("warm latency %d not below cold %d", warmDone-start, coldDone)
+	}
+}
+
+func TestDeltaPacksMoreCountersPerCacheLine(t *testing.T) {
+	// 64 consecutive block-groups' counters fit 8x fewer metadata lines
+	// under delta encoding, so a scan's counter-read traffic drops.
+	runScan := func(kind ctr.Kind) uint64 {
+		tm := newTM(t, paperCfg(kind, MACInECC))
+		for i := uint64(0); i < 4096; i++ {
+			tm.ReadMiss(i*1000, i*BlockBytes)
+		}
+		return tm.Stats().CounterReads
+	}
+	mono := runScan(ctr.Monolithic)
+	delta := runScan(ctr.Delta)
+	if delta*7 > mono {
+		t.Fatalf("delta counter reads %d vs monolithic %d: want ~8x fewer", delta, mono)
+	}
+}
+
+func TestWriteBackTouchesCounter(t *testing.T) {
+	tm := newTM(t, paperCfg(ctr.Delta, MACInECC))
+	tm.WriteBack(0, 0x4000)
+	if tm.Scheme().Stats().Writes != 1 {
+		t.Fatal("writeback did not touch the counter")
+	}
+	st := tm.Stats()
+	if st.DataWrites != 1 || st.CounterReads != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteBackInlineMACTraffic(t *testing.T) {
+	inline := newTM(t, paperCfg(ctr.Delta, MACInline))
+	inline.WriteBack(0, 0x5000)
+	if inline.Stats().MACReads != 1 {
+		t.Fatalf("inline writeback stats %+v", inline.Stats())
+	}
+	ecc := newTM(t, paperCfg(ctr.Delta, MACInECC))
+	ecc.WriteBack(0, 0x5000)
+	if ecc.Stats().MACReads != 0 {
+		t.Fatalf("mac-in-ecc writeback stats %+v", ecc.Stats())
+	}
+}
+
+func TestReencryptionChargesTraffic(t *testing.T) {
+	cfg := paperCfg(ctr.Split, MACInECC)
+	tm := newTM(t, cfg)
+	// 128 writebacks to one block overflow the 7-bit minor counter.
+	var now uint64
+	for i := 0; i < 128; i++ {
+		now = tm.WriteBack(now, 0x8000)
+	}
+	st := tm.Stats()
+	if st.ReencryptOps != 1 {
+		t.Fatalf("re-encryptions = %d, want 1", st.ReencryptOps)
+	}
+	if st.ReencryptRead != ctr.GroupBlocks || st.ReencryptWrit != ctr.GroupBlocks {
+		t.Fatalf("re-encrypt traffic %+v", st)
+	}
+}
+
+func TestReencryptTrafficCanBeDisabled(t *testing.T) {
+	tm := newTM(t, paperCfg(ctr.Split, MACInECC))
+	tm.ChargeReencryptTraffic = false
+	var now uint64
+	for i := 0; i < 128; i++ {
+		now = tm.WriteBack(now, 0x8000)
+	}
+	st := tm.Stats()
+	if st.ReencryptOps != 1 || st.ReencryptRead != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestOverflowBufferBackpressure(t *testing.T) {
+	// A tiny overflow buffer plus a storm of overflows in quick
+	// succession must stall writes; an unbounded buffer must not.
+	storm := func(depth int) TimingStats {
+		tm := newTM(t, paperCfg(ctr.Split, MACInECC))
+		tm.OverflowBufferGroups = depth
+		var now uint64
+		// Alternate hot blocks across many groups so overflows land
+		// back to back at nearly the same cycle.
+		for round := 0; round < 130; round++ {
+			for g := uint64(0); g < 8; g++ {
+				tm.WriteBack(now, g*ctr.GroupBlocks*BlockBytes)
+				now += 2
+			}
+		}
+		return tm.Stats()
+	}
+	bounded := storm(1)
+	unbounded := storm(0)
+	if bounded.ReencryptOps == 0 {
+		t.Fatal("storm produced no re-encryptions; test is vacuous")
+	}
+	if bounded.ReencStallCycles == 0 {
+		t.Fatal("depth-1 overflow buffer never stalled a write")
+	}
+	if unbounded.ReencStallCycles != 0 {
+		t.Fatal("unbounded buffer should never stall")
+	}
+	if unbounded.MaxReencBacklog <= 1 {
+		t.Fatalf("unbounded backlog %d should exceed 1", unbounded.MaxReencBacklog)
+	}
+}
+
+func TestOverflowBufferDefaultDepth(t *testing.T) {
+	tm := newTM(t, paperCfg(ctr.Split, MACInECC))
+	if tm.OverflowBufferGroups != 4 {
+		t.Fatalf("default overflow buffer depth %d, want 4", tm.OverflowBufferGroups)
+	}
+}
+
+func TestDecodeCyclesDefaults(t *testing.T) {
+	if tm := newTM(t, paperCfg(ctr.Delta, MACInECC)); tm.DecodeCycles != ctr.DecodeCycles {
+		t.Fatalf("delta decode cycles = %d", tm.DecodeCycles)
+	}
+	if tm := newTM(t, paperCfg(ctr.DualLength, MACInECC)); tm.DecodeCycles != ctr.DecodeCycles {
+		t.Fatalf("dual decode cycles = %d", tm.DecodeCycles)
+	}
+	if tm := newTM(t, paperCfg(ctr.Monolithic, MACInline)); tm.DecodeCycles != 0 {
+		t.Fatalf("monolithic decode cycles = %d", tm.DecodeCycles)
+	}
+}
+
+func TestMetadataCachePressureInlineVsECC(t *testing.T) {
+	// The paper: storing MACs as ECC bits frees metadata-cache space.
+	// Under a working set that thrashes the 32KB cache, the MAC-in-ECC
+	// model must see a better counter hit rate.
+	run := func(p MACPlacement) float64 {
+		tm := newTM(t, paperCfg(ctr.Monolithic, p))
+		var now uint64
+		for rep := 0; rep < 4; rep++ {
+			for i := uint64(0); i < 6000; i++ {
+				now = tm.ReadMiss(now, i*BlockBytes*8) // spread over counter blocks
+			}
+		}
+		return tm.MetadataCacheStats().HitRate()
+	}
+	inline, ecc := run(MACInline), run(MACInECC)
+	if ecc <= inline {
+		t.Fatalf("metadata hit rate: inline %.3f, mac-in-ecc %.3f — expected improvement", inline, ecc)
+	}
+}
+
+func TestOverheadFigure1(t *testing.T) {
+	// Baseline: 56-bit counters (in 64-bit slots) + inline MACs + tree.
+	base, err := ComputeOverhead(paperCfg(ctr.Monolithic, MACInline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := base.EncryptionOverheadPct()
+	if pct < 21 || pct > 26 {
+		t.Fatalf("baseline overhead %.1f%%, want ~22-24%%", pct)
+	}
+	// Counters alone ~10.9% (56-bit per block); MACs the same.
+	if got := 100 * float64(base.CounterBytes) / float64(base.RegionBytes); got < 10.5 || got > 11.5 {
+		t.Fatalf("counter overhead %.1f%%", got)
+	}
+	if base.MACBytes != base.CounterBytes {
+		t.Fatalf("baseline MAC bytes %d != counter bytes %d", base.MACBytes, base.CounterBytes)
+	}
+
+	// Proposed: delta counters + MAC-in-ECC.
+	prop, err := ComputeOverhead(paperCfg(ctr.Delta, MACInECC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.MACBytes != 0 {
+		t.Fatal("MAC-in-ECC should have no dedicated MAC storage")
+	}
+	if got := prop.EncryptionOverheadPct(); got > 3 {
+		t.Fatalf("proposed overhead %.2f%%, want ~2%%", got)
+	}
+	// The paper's ~10x reduction.
+	if ratio := base.EncryptionOverheadPct() / prop.EncryptionOverheadPct(); ratio < 8 {
+		t.Fatalf("overhead reduction %.1fx, want ~10x", ratio)
+	}
+	if prop.TreeLevels != 4 || base.TreeLevels != 5 {
+		t.Fatalf("tree levels: base %d (want 5), prop %d (want 4)", base.TreeLevels, prop.TreeLevels)
+	}
+}
+
+func TestOverheadDisabled(t *testing.T) {
+	cfg := paperCfg(ctr.Delta, MACInECC)
+	cfg.DisableEncryption = true
+	cfg.KeyMaterial = nil
+	o, err := ComputeOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.EncryptionOverheadBytes() != 0 {
+		t.Fatalf("disabled overhead %+v", o)
+	}
+	if o.ECCBytes != cfg.RegionBytes/8 {
+		t.Fatal("ECC provisioning should be reported regardless")
+	}
+}
+
+func TestTimingDeterminism(t *testing.T) {
+	run := func() (uint64, TimingStats) {
+		tm := newTM(t, paperCfg(ctr.Delta, MACInECC))
+		var now uint64
+		for i := 0; i < 5000; i++ {
+			a := uint64(i*2654435761%100000) * BlockBytes
+			if i%3 == 0 {
+				now = tm.WriteBack(now, a)
+			} else {
+				now = tm.ReadMiss(now, a)
+			}
+		}
+		return now, tm.Stats()
+	}
+	n1, s1 := run()
+	n2, s2 := run()
+	if n1 != n2 || s1 != s2 {
+		t.Fatal("timing model is not deterministic")
+	}
+}
+
+func BenchmarkReadMissCold(b *testing.B) {
+	tm, err := NewTimingModel(paperCfg(ctr.Delta, MACInECC), dram.MustNew(dram.DDR3_1600(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = tm.ReadMiss(now, uint64(i)%(512<<20)/64*64)
+	}
+}
+
+func BenchmarkWriteBack(b *testing.B) {
+	tm, err := NewTimingModel(paperCfg(ctr.Delta, MACInECC), dram.MustNew(dram.DDR3_1600(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = tm.WriteBack(now, uint64(i%100000)*BlockBytes)
+	}
+}

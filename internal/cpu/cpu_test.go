@@ -1,0 +1,311 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"authmem/internal/cache"
+	"authmem/internal/trace"
+)
+
+// flatMemory is a fixed-latency backend for isolating core-model behaviour.
+type flatMemory struct {
+	readLatency uint64
+	reads       int
+	writebacks  int
+}
+
+func (m *flatMemory) ReadMiss(now, addr uint64) uint64 {
+	m.reads++
+	return now + m.readLatency
+}
+
+func (m *flatMemory) WriteBack(now, addr uint64) uint64 {
+	m.writebacks++
+	return now + 1
+}
+
+func tiny() Config {
+	return Config{
+		Cores:       1,
+		IssueWidth:  4,
+		L1:          cache.Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2},
+		L2:          cache.Config{SizeBytes: 4 << 10, LineBytes: 64, Ways: 4},
+		L3:          cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4},
+		L1HitCycles: 1,
+		L2HitCycles: 12,
+		L3HitCycles: 35,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mem := &flatMemory{readLatency: 100}
+	cfg := tiny()
+	if _, err := New(cfg, nil, mem); err == nil {
+		t.Fatal("generator count mismatch should fail")
+	}
+	if _, err := New(cfg, []trace.Generator{&trace.SliceGenerator{}}, nil); err == nil {
+		t.Fatal("nil memory should fail")
+	}
+	bad := cfg
+	bad.Cores = 0
+	if _, err := New(bad, nil, mem); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+	bad = cfg
+	bad.L1.Ways = 0
+	if _, err := New(bad, []trace.Generator{&trace.SliceGenerator{}}, mem); err == nil {
+		t.Fatal("bad L1 should fail")
+	}
+}
+
+func TestTable1Builds(t *testing.T) {
+	gens := make([]trace.Generator, 4)
+	for i := range gens {
+		gens[i] = &trace.SliceGenerator{}
+	}
+	if _, err := New(Table1(), gens, &flatMemory{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeOnlyIPC(t *testing.T) {
+	// 1000 instructions, no memory ops beyond one final load that hits
+	// nothing... use gap-only records with one cached address.
+	recs := []trace.Record{{Gap: 999, Op: trace.Load, Addr: 0}}
+	mem := &flatMemory{readLatency: 0}
+	s, err := New(tiny(), []trace.Generator{&trace.SliceGenerator{Records: recs}}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Instructions != 1000 {
+		t.Fatalf("instructions %d", res.Instructions)
+	}
+	// 999 instructions at width 4 = 250 cycles, plus the load.
+	if res.Cycles < 250 || res.Cycles > 300 {
+		t.Fatalf("cycles %d", res.Cycles)
+	}
+	if res.IPC <= 3 || res.IPC > 4 {
+		t.Fatalf("IPC %.2f, want close to 4", res.IPC)
+	}
+}
+
+func TestMemoryLatencyLowersIPC(t *testing.T) {
+	mk := func() trace.Generator {
+		return trace.NewSynthetic(trace.SyntheticConfig{
+			Ops: 5000, MeanGap: 8, Pattern: trace.Random,
+			FootprintBytes: 1 << 22, Seed: 1,
+		})
+	}
+	run := func(lat uint64) Result {
+		s, err := New(tiny(), []trace.Generator{mk()}, &flatMemory{readLatency: lat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	fast, slow := run(50), run(500)
+	if slow.IPC >= fast.IPC {
+		t.Fatalf("IPC %f with 500-cycle memory >= %f with 50-cycle", slow.IPC, fast.IPC)
+	}
+	if slow.LoadStallCycles <= fast.LoadStallCycles {
+		t.Fatal("stall accounting does not track latency")
+	}
+}
+
+func TestCacheHitsAvoidMemory(t *testing.T) {
+	// A footprint that fits in L1 must not reach memory after warmup.
+	gen := trace.NewSynthetic(trace.SyntheticConfig{
+		Ops: 10000, Pattern: trace.Sequential, FootprintBytes: 512, Seed: 2,
+	})
+	mem := &flatMemory{readLatency: 200}
+	s, err := New(tiny(), []trace.Generator{gen}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if mem.reads > 8 { // 8 lines of warmup
+		t.Fatalf("%d memory reads for an L1-resident footprint", mem.reads)
+	}
+	if res.L3Misses != uint64(mem.reads) {
+		t.Fatalf("L3Misses %d != backend reads %d", res.L3Misses, mem.reads)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	// All-store trace vs all-load trace over an uncacheable footprint:
+	// loads must take far longer.
+	mk := func(wf float64) trace.Generator {
+		return trace.NewSynthetic(trace.SyntheticConfig{
+			Ops: 3000, WriteFrac: wf, Pattern: trace.Random,
+			FootprintBytes: 1 << 24, Seed: 3,
+		})
+	}
+	run := func(wf float64) Result {
+		s, err := New(tiny(), []trace.Generator{mk(wf)}, &flatMemory{readLatency: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	loads, stores := run(0), run(1)
+	if stores.Cycles*4 > loads.Cycles {
+		t.Fatalf("stores (%d cycles) not much cheaper than loads (%d)", stores.Cycles, loads.Cycles)
+	}
+}
+
+func TestWritebacksReachMemory(t *testing.T) {
+	// A write-streaming footprint much larger than total cache capacity
+	// must push dirty lines out to the backend.
+	gen := trace.NewSynthetic(trace.SyntheticConfig{
+		Ops: 20000, WriteFrac: 1, Pattern: trace.Sequential,
+		FootprintBytes: 1 << 21, Seed: 4,
+	})
+	mem := &flatMemory{readLatency: 100}
+	s, err := New(tiny(), []trace.Generator{gen}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if mem.writebacks == 0 || res.Writebacks == 0 {
+		t.Fatal("streaming stores produced no writebacks")
+	}
+	if res.Writebacks != uint64(mem.writebacks) {
+		t.Fatalf("writeback accounting mismatch: %d vs %d", res.Writebacks, mem.writebacks)
+	}
+}
+
+func TestMultiCoreSharesL3(t *testing.T) {
+	// Four cores with a shared read-only footprint: after one core warms
+	// the L3, others hit it (far fewer memory reads than 4x the solo run).
+	mkGens := func(n int) []trace.Generator {
+		gens := make([]trace.Generator, n)
+		for i := range gens {
+			gens[i] = trace.NewSynthetic(trace.SyntheticConfig{
+				Ops: 4000, Pattern: trace.Sequential, FootprintBytes: 8 << 10,
+				Seed: int64(i),
+			})
+		}
+		return gens
+	}
+	cfg := tiny()
+	solo := &flatMemory{readLatency: 200}
+	s1, err := New(cfg, mkGens(1), solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Run()
+
+	cfg.Cores = 4
+	quad := &flatMemory{readLatency: 200}
+	s4, err := New(cfg, mkGens(4), quad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4.Run()
+	if quad.reads >= solo.reads*3 {
+		t.Fatalf("shared L3 not effective: solo %d reads, quad %d", solo.reads, quad.reads)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() Result {
+		gens := make([]trace.Generator, 2)
+		for i := range gens {
+			gens[i] = trace.NewSynthetic(trace.SyntheticConfig{
+				Ops: 5000, MeanGap: 5, WriteFrac: 0.3, Pattern: trace.Hotspot,
+				FootprintBytes: 1 << 22, HotFrac: 0.6, HotBytes: 1 << 14, Seed: int64(i + 7),
+			})
+		}
+		cfg := tiny()
+		cfg.Cores = 2
+		s, err := New(cfg, gens, &flatMemory{readLatency: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	if len(a.PerCore) != 2 {
+		t.Fatalf("per-core results missing: %+v", a.PerCore)
+	}
+	var sum uint64
+	for _, c := range a.PerCore {
+		sum += c.Instructions
+		if c.IPC <= 0 {
+			t.Fatalf("core IPC %v", c.IPC)
+		}
+	}
+	if sum != a.Instructions {
+		t.Fatal("per-core instructions do not sum to the total")
+	}
+}
+
+func BenchmarkRunHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gen := trace.NewSynthetic(trace.SyntheticConfig{
+			Ops: 100000, MeanGap: 5, WriteFrac: 0.3, Pattern: trace.Hotspot,
+			FootprintBytes: 1 << 24, HotFrac: 0.5, HotBytes: 1 << 16, Seed: 1,
+		})
+		s, err := New(tiny(), []trace.Generator{gen}, &flatMemory{readLatency: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+}
+
+func TestNextLinePrefetchHelpsStreams(t *testing.T) {
+	// Sequential loads over an uncached footprint: prefetch turns every
+	// second miss into a hit, cutting load stalls.
+	run := func(prefetch bool) Result {
+		gen := trace.NewSynthetic(trace.SyntheticConfig{
+			Ops: 8000, Pattern: trace.Sequential, FootprintBytes: 1 << 20, Seed: 5,
+		})
+		cfg := tiny()
+		cfg.NextLinePrefetch = prefetch
+		s, err := New(cfg, []trace.Generator{gen}, &flatMemory{readLatency: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	off, on := run(false), run(true)
+	if on.Prefetches == 0 {
+		t.Fatal("prefetcher idle on a stream")
+	}
+	if on.LoadStallCycles >= off.LoadStallCycles {
+		t.Fatalf("prefetch did not reduce stalls: %d vs %d",
+			on.LoadStallCycles, off.LoadStallCycles)
+	}
+	if off.Prefetches != 0 {
+		t.Fatal("prefetches counted while disabled")
+	}
+}
+
+func TestNextLinePrefetchTrafficCost(t *testing.T) {
+	// Random loads: prefetch buys nothing but issues extra memory reads —
+	// the ablation's point about speculative metadata traffic.
+	run := func(prefetch bool) int {
+		gen := trace.NewSynthetic(trace.SyntheticConfig{
+			Ops: 3000, Pattern: trace.Random, FootprintBytes: 1 << 24, Seed: 6,
+		})
+		cfg := tiny()
+		cfg.NextLinePrefetch = prefetch
+		mem := &flatMemory{readLatency: 300}
+		s, err := New(cfg, []trace.Generator{gen}, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return mem.reads
+	}
+	off, on := run(false), run(true)
+	if on <= off {
+		t.Fatalf("prefetch should add traffic on random loads: %d vs %d", on, off)
+	}
+}

@@ -1,0 +1,129 @@
+package ctr
+
+// PackMetadata methods return the canonical 64-byte storage image of a
+// metadata block. The integrity tree (internal/tree) MACs these images, so
+// they must be deterministic functions of scheme state. Indexing matches
+// MetadataBlock: for grouped schemes metadata block m holds group m; for the
+// monolithic scheme it holds counters 8m..8m+7.
+
+// PackMetadata implements the metadata-image contract for MonolithicScheme.
+func (s *MonolithicScheme) PackMetadata(m uint64) [MetadataBlockBytes]byte {
+	var c [CountersPerMetadataBlock]uint64
+	for i := range c {
+		c[i] = s.counters[m*CountersPerMetadataBlock+uint64(i)]
+	}
+	return PackMonolithic(&c)
+}
+
+// PackMetadata implements the metadata-image contract for SplitScheme.
+func (s *SplitScheme) PackMetadata(m uint64) [MetadataBlockBytes]byte {
+	g := s.groups[m]
+	if g == nil {
+		g = &splitGroup{}
+	}
+	return PackSplit(g.major, &g.minors)
+}
+
+// PackMetadata implements the metadata-image contract for DeltaScheme.
+func (s *DeltaScheme) PackMetadata(m uint64) [MetadataBlockBytes]byte {
+	g := s.groups[m]
+	if g == nil {
+		g = &deltaGroup{}
+	}
+	blk, err := PackDelta(g.ref, &g.deltas)
+	if err != nil {
+		// Scheme invariants guarantee packable state; a failure here is
+		// a bug, not an input error.
+		panic(err)
+	}
+	return blk
+}
+
+// PackMetadata implements the metadata-image contract for DualLengthScheme.
+func (s *DualLengthScheme) PackMetadata(m uint64) [MetadataBlockBytes]byte {
+	g := s.groups[m]
+	if g == nil {
+		g = &dualGroup{extended: -1}
+	}
+	blk, err := PackDualLength(g.ref, &g.deltas, g.extended)
+	if err != nil {
+		panic(err)
+	}
+	return blk
+}
+
+// LoadMetadata methods restore scheme state from a stored 64-byte image —
+// the inverse of PackMetadata, used when resuming a persistent (NVMM)
+// memory: counters survive power-off in DRAM/NVMM form and the state
+// machine is rebuilt from them. Non-canonical images are rejected.
+
+// LoadMetadata implements the metadata-restore contract for
+// MonolithicScheme.
+func (s *MonolithicScheme) LoadMetadata(m uint64, img [MetadataBlockBytes]byte) error {
+	counters := UnpackMonolithic(img)
+	for i, c := range counters {
+		blk := m*CountersPerMetadataBlock + uint64(i)
+		if c == 0 {
+			delete(s.counters, blk)
+			continue
+		}
+		s.counters[blk] = c
+	}
+	return nil
+}
+
+// LoadMetadata implements the metadata-restore contract for SplitScheme.
+func (s *SplitScheme) LoadMetadata(m uint64, img [MetadataBlockBytes]byte) error {
+	major, minors := UnpackSplit(img)
+	s.groups[m] = &splitGroup{major: major, minors: minors}
+	return nil
+}
+
+// LoadMetadata implements the metadata-restore contract for DeltaScheme.
+func (s *DeltaScheme) LoadMetadata(m uint64, img [MetadataBlockBytes]byte) error {
+	ref, deltas, err := UnpackDelta(img)
+	if err != nil {
+		return err
+	}
+	s.groups[m] = &deltaGroup{ref: ref, deltas: deltas}
+	return nil
+}
+
+// LoadMetadata implements the metadata-restore contract for
+// DualLengthScheme.
+func (s *DualLengthScheme) LoadMetadata(m uint64, img [MetadataBlockBytes]byte) error {
+	ref, deltas, extended, err := UnpackDualLength(img)
+	if err != nil {
+		return err
+	}
+	s.groups[m] = &dualGroup{ref: ref, deltas: deltas, extended: extended}
+	return nil
+}
+
+// MetadataPacker is implemented by all schemes in this package; the engine
+// asserts to it when it needs storage images for tree hashing.
+type MetadataPacker interface {
+	PackMetadata(m uint64) [MetadataBlockBytes]byte
+}
+
+// MetadataLoader is the restore-side counterpart of MetadataPacker.
+type MetadataLoader interface {
+	LoadMetadata(m uint64, img [MetadataBlockBytes]byte) error
+}
+
+var (
+	_ MetadataPacker = (*MonolithicScheme)(nil)
+	_ MetadataPacker = (*SplitScheme)(nil)
+	_ MetadataPacker = (*DeltaScheme)(nil)
+	_ MetadataPacker = (*DualLengthScheme)(nil)
+
+	_ MetadataLoader = (*MonolithicScheme)(nil)
+	_ MetadataLoader = (*SplitScheme)(nil)
+	_ MetadataLoader = (*DeltaScheme)(nil)
+	_ MetadataLoader = (*DualLengthScheme)(nil)
+
+	_ Scheme = (*MonolithicScheme)(nil)
+	_ Scheme = (*SplitScheme)(nil)
+	_ Scheme = (*DeltaScheme)(nil)
+	_ Scheme = (*DualLengthScheme)(nil)
+)

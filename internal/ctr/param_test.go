@@ -1,0 +1,237 @@
+package ctr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDeltaParamValidation(t *testing.T) {
+	bad := []struct {
+		w uint
+		g int
+	}{
+		{1, 64},   // width too small
+		{16, 16},  // width too large
+		{7, 1},    // group too small
+		{8, 64},   // 56 + 512 = 568 bits > 512
+		{7, 66},   // 56 + 462 = 518 bits > 512
+		{15, 256}, // way over
+	}
+	for _, c := range bad {
+		if _, err := NewDeltaParam(c.w, c.g); err == nil {
+			t.Errorf("NewDeltaParam(%d, %d) should fail", c.w, c.g)
+		}
+	}
+	good := []struct {
+		w uint
+		g int
+	}{
+		{5, 64}, {6, 64}, {7, 64}, {8, 56}, {12, 38}, {2, 228},
+	}
+	for _, c := range good {
+		if _, err := NewDeltaParam(c.w, c.g); err != nil {
+			t.Errorf("NewDeltaParam(%d, %d) failed", c.w, c.g)
+		}
+	}
+}
+
+func TestNewSplitParamValidation(t *testing.T) {
+	if _, err := NewSplitParam(7, 64); err != nil {
+		t.Fatal("the paper's 7-bit/64-block split config must fit")
+	}
+	if _, err := NewSplitParam(8, 64); err == nil {
+		t.Fatal("64 + 512 bits should exceed the metadata block")
+	}
+	if _, err := NewSplitParam(1, 64); err == nil {
+		t.Fatal("1-bit minors should be rejected")
+	}
+	if _, err := NewSplitParam(7, 1); err == nil {
+		t.Fatal("group of 1 should be rejected")
+	}
+}
+
+func TestParamDeltaMatchesFixedDelta(t *testing.T) {
+	// With width 7 and group 64, the parameterized scheme must behave
+	// identically to the hand-written DeltaScheme.
+	param, err := NewDeltaParam(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := NewDelta()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300000; i++ {
+		b := uint64(rng.Intn(512))
+		po, fo := param.Touch(b), fixed.Touch(b)
+		if po != fo {
+			t.Fatalf("write %d to block %d: param %+v, fixed %+v", i, b, po, fo)
+		}
+	}
+	if param.Stats() != fixed.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", param.Stats(), fixed.Stats())
+	}
+	for b := uint64(0); b < 512; b++ {
+		if param.Counter(b) != fixed.Counter(b) {
+			t.Fatalf("block %d: counters diverged", b)
+		}
+	}
+}
+
+func TestParamSplitMatchesFixedSplit(t *testing.T) {
+	param, err := NewSplitParam(7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := NewSplit()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300000; i++ {
+		b := uint64(rng.Intn(512))
+		po, fo := param.Touch(b), fixed.Touch(b)
+		if po != fo {
+			t.Fatalf("write %d to block %d: param %+v, fixed %+v", i, b, po, fo)
+		}
+	}
+	if param.Stats() != fixed.Stats() {
+		t.Fatalf("stats diverged")
+	}
+}
+
+func TestParamDeltaNonceFreshness(t *testing.T) {
+	// The nonce-freshness invariant must hold at every width.
+	for _, w := range []uint{3, 5, 8} {
+		g := 64
+		if w == 8 {
+			g = 56
+		}
+		s, err := NewDeltaParam(w, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make(map[[2]uint64]bool)
+		record := func(block, counter uint64) {
+			k := [2]uint64{block, counter}
+			if used[k] {
+				t.Fatalf("width %d: nonce reuse on block %d counter %d", w, block, counter)
+			}
+			used[k] = true
+		}
+		s.OnReencrypt(func(start uint64, old []uint64, newCounter uint64) {
+			for j := range old {
+				record(start+uint64(j), newCounter)
+			}
+		})
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 50000; i++ {
+			b := uint64(rng.Intn(g))
+			out := s.Touch(b)
+			if !out.Reencrypted {
+				record(b, out.Counter)
+			}
+		}
+	}
+}
+
+// TestWiderDeltasReencryptLess verifies the fundamental width trade-off the
+// paper's §4.2 design choice sits on: more delta bits mean fewer overflows
+// (but more storage).
+func TestWiderDeltasReencryptLess(t *testing.T) {
+	rates := map[uint]uint64{}
+	for _, w := range []uint{5, 6, 7} {
+		s, err := NewDeltaParam(w, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hot single block: Δmin stays 0, overflow every 2^w writes.
+		for i := 0; i < 1<<14; i++ {
+			s.Touch(0)
+		}
+		rates[w] = s.Stats().Reencryptions
+	}
+	if !(rates[5] > rates[6] && rates[6] > rates[7]) {
+		t.Fatalf("re-encryptions not decreasing with width: %v", rates)
+	}
+	// Exact expectation: 2^14 writes, overflow period 2^w.
+	for _, w := range []uint{5, 6, 7} {
+		want := uint64(1) << (14 - w)
+		// The first overflow needs 2^w - 1 increments, so allow +/-1.
+		if diff := int64(rates[w]) - int64(want); diff < -1 || diff > 1 {
+			t.Errorf("width %d: %d re-encryptions, want ~%d", w, rates[w], want)
+		}
+	}
+}
+
+// TestSmallerGroupsLocalizeReencryption checks the group-size trade-off:
+// smaller groups re-encrypt fewer blocks per overflow.
+func TestSmallerGroupsLocalizeReencryption(t *testing.T) {
+	for _, g := range []int{16, 32, 64} {
+		s, err := NewDeltaParam(7, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 128; i++ {
+			s.Touch(0)
+		}
+		st := s.Stats()
+		if st.Reencryptions != 1 {
+			t.Fatalf("g=%d: %d re-encryptions", g, st.Reencryptions)
+		}
+		if st.ReencryptedBlocks != uint64(g) {
+			t.Fatalf("g=%d: %d blocks re-encrypted", g, st.ReencryptedBlocks)
+		}
+	}
+}
+
+func TestParamSchemeGeometry(t *testing.T) {
+	d, err := NewDeltaParam(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := d.MetadataBits(); bits != (56.0+64*5)/64 {
+		t.Fatalf("delta-5 bits/block = %v", bits)
+	}
+	if d.Name() != "delta-5/g64" {
+		t.Fatalf("name %q", d.Name())
+	}
+	if d.MetadataBlock(129) != 2 || d.MetadataBlocks(129) != 3 {
+		t.Fatal("metadata mapping wrong")
+	}
+	sp, err := NewSplitParam(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name() != "split-4/g100" {
+		t.Fatalf("name %q", sp.Name())
+	}
+	if sp.GroupSize() != 100 {
+		t.Fatal("group size wrong")
+	}
+}
+
+func TestParamSplitCounterConcatenation(t *testing.T) {
+	s, err := NewSplitParam(3, 32) // tiny minors: overflow every 7 writes
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if out := s.Touch(0); out.Reencrypted {
+			t.Fatalf("premature re-encryption at write %d", i)
+		}
+	}
+	out := s.Touch(0)
+	if !out.Reencrypted {
+		t.Fatal("8th write should overflow a 3-bit minor")
+	}
+	// major 1, minor 1 -> counter 1<<3 | 1 = 9.
+	if out.Counter != 9 {
+		t.Fatalf("counter = %d, want 9", out.Counter)
+	}
+}
+
+func BenchmarkParamDeltaTouch(b *testing.B) {
+	s, err := NewDeltaParam(6, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s.Touch(uint64(i) % 4096)
+	}
+}

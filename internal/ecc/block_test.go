@@ -1,0 +1,170 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(rng *rand.Rand) []byte {
+	b := make([]byte, BlockSize)
+	rng.Read(b)
+	return b
+}
+
+func TestEncodeBlockSize(t *testing.T) {
+	if _, err := EncodeBlock(make([]byte, 63)); err != ErrBlockSize {
+		t.Fatal("short block should be rejected")
+	}
+	if _, err := EncodeBlock(make([]byte, 65)); err != ErrBlockSize {
+		t.Fatal("long block should be rejected")
+	}
+	if _, err := EncodeBlock(make([]byte, 64)); err != nil {
+		t.Fatal("64-byte block should encode")
+	}
+}
+
+func TestDecodeBlockClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		data := randBlock(rng)
+		check, err := EncodeBlock(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := append([]byte(nil), data...)
+		out, err := DecodeBlock(data, &check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Clean() || out.CorrectedBits != 0 || out.WorstResult != OK {
+			t.Fatalf("clean block reported %+v", out)
+		}
+		if !bytes.Equal(data, orig) {
+			t.Fatal("clean decode modified data")
+		}
+	}
+}
+
+func TestDecodeBlockCorrectsOnePerWord(t *testing.T) {
+	// One flip in each of the 8 words: standard ECC corrects all 8.
+	rng := rand.New(rand.NewSource(11))
+	data := randBlock(rng)
+	check, _ := EncodeBlock(data)
+	orig := append([]byte(nil), data...)
+	for w := 0; w < WordsPerBlock; w++ {
+		bit := rng.Intn(64)
+		data[w*WordSize+bit/8] ^= 1 << uint(bit%8)
+	}
+	out, err := DecodeBlock(data, &check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CorrectedBits != WordsPerBlock || !out.Clean() {
+		t.Fatalf("want 8 corrections, got %+v", out)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("corrections did not restore original data")
+	}
+}
+
+func TestDecodeBlockDetectsDoubleInWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randBlock(rng)
+	check, _ := EncodeBlock(data)
+	// Two flips inside word 3.
+	data[3*WordSize] ^= 0x03
+	out, err := DecodeBlock(data, &check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Clean() || out.DetectedWords != 1 || out.WorstResult != DetectedDouble {
+		t.Fatalf("want one detected word, got %+v", out)
+	}
+}
+
+func TestDecodeBlockMixedFaults(t *testing.T) {
+	// Word 0: single flip (corrected); word 5: double flip (detected).
+	rng := rand.New(rand.NewSource(13))
+	data := randBlock(rng)
+	check, _ := EncodeBlock(data)
+	data[0] ^= 0x10
+	data[5*WordSize+2] ^= 0x41 // two flips in one byte of word 5
+	out, err := DecodeBlock(data, &check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CorrectedBits != 1 || out.DetectedWords != 1 {
+		t.Fatalf("want 1 corrected + 1 detected, got %+v", out)
+	}
+}
+
+func TestDecodeBlockWrongSize(t *testing.T) {
+	var check [WordsPerBlock]uint8
+	if _, err := DecodeBlock(make([]byte, 32), &check); err != ErrBlockSize {
+		t.Fatal("short block should be rejected")
+	}
+}
+
+func TestWordHelpersRoundTrip(t *testing.T) {
+	f := func(w uint64) bool {
+		c := EncodeWord(w)
+		d, cc, res := DecodeWord(w, c)
+		return res == OK && d == w && cc == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityBit(t *testing.T) {
+	if ParityBit(nil) != 0 {
+		t.Fatal("parity of empty slice should be 0")
+	}
+	if ParityBit([]byte{0x01}) != 1 {
+		t.Fatal("parity of one set bit should be 1")
+	}
+	if ParityBit([]byte{0xFF}) != 0 {
+		t.Fatal("parity of 8 set bits should be 0")
+	}
+	f := func(data []byte, idx uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		p0 := ParityBit(data)
+		i := int(idx) % len(data)
+		data[i] ^= 1 << (idx % 8)
+		p1 := ParityBit(data)
+		return p0 != p1 // any single flip must toggle the parity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeBlock(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	data := randBlock(rng)
+	b.SetBytes(BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBlock(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBlockClean(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	data := randBlock(rng)
+	check, _ := EncodeBlock(data)
+	b.SetBytes(BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := check
+		if _, err := DecodeBlock(data, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode feeds arbitrary (data, check) pairs — what a hostile DIMM
+// could return — through the SEC-DED decoders. Requirements: no panics,
+// OK results must be self-consistent (re-encoding reproduces the check
+// bits), and corrections must produce valid codewords.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint16(0))
+	f.Add(^uint64(0), uint16(0xFFFF))
+	f.Add(uint64(0xDEADBEEF), Word72.Encode(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, data uint64, check uint16) {
+		for _, code := range []*SECDED{Word72, MAC63} {
+			d, c, res := code.Decode(data, check)
+			switch res {
+			case OK, CorrectedData, CorrectedCheck:
+				// The (possibly corrected) pair must be a valid
+				// codeword.
+				if code.Encode(d) != c {
+					t.Fatalf("k=%d: result %v returned invalid codeword", code.K(), res)
+				}
+				if _, _, res2 := code.Decode(d, c); res2 != OK {
+					t.Fatalf("k=%d: corrected word does not re-decode OK", code.K())
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeBlock exercises the block-level decoder on arbitrary 64-byte
+// payloads and check bytes.
+func FuzzDecodeBlock(f *testing.F) {
+	seed := make([]byte, BlockSize)
+	f.Add(seed, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte, checkBytes []byte) {
+		if len(data) != BlockSize {
+			return
+		}
+		var check [WordsPerBlock]uint8
+		copy(check[:], checkBytes)
+		out, err := DecodeBlock(data, &check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.CorrectedBits < 0 || out.DetectedWords > WordsPerBlock {
+			t.Fatalf("implausible outcome %+v", out)
+		}
+		// A clean outcome must re-verify cleanly.
+		if out.Clean() {
+			check2 := check
+			out2, err := DecodeBlock(data, &check2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out2.CorrectedBits != 0 || !out2.Clean() {
+				t.Fatalf("repaired block not stable: %+v", out2)
+			}
+		}
+	})
+}

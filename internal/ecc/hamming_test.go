@@ -1,0 +1,203 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWidths(t *testing.T) {
+	cases := []struct {
+		k, wantCheck int
+	}{
+		{56, 7}, // the paper's MAC code: 6 Hamming + 1 overall parity
+		{64, 8}, // standard ECC DRAM word
+		{8, 5},
+		{1, 3},
+		{4, 4},
+		{11, 5},
+		{26, 6},
+		{57, 7},
+	}
+	for _, c := range cases {
+		code, err := New(c.k)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c.k, err)
+		}
+		if got := code.CheckBits(); got != c.wantCheck {
+			t.Errorf("New(%d).CheckBits() = %d, want %d", c.k, got, c.wantCheck)
+		}
+	}
+}
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, k := range []int{0, -1, 65, 100} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) should fail", k)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) should panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, code := range []*SECDED{Word72, MAC63, MustNew(8)} {
+		f := func(data uint64) bool {
+			check := code.Encode(data)
+			d, c, res := code.Decode(data&maskFor(code), check)
+			return res == OK && d == data&maskFor(code) && c == check
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("k=%d: %v", code.K(), err)
+		}
+	}
+}
+
+func maskFor(c *SECDED) uint64 {
+	if c.K() == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(c.K())) - 1
+}
+
+func TestCorrectsEverySingleDataBit(t *testing.T) {
+	for _, code := range []*SECDED{Word72, MAC63} {
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 50; trial++ {
+			data := rng.Uint64() & maskFor(code)
+			check := code.Encode(data)
+			for i := 0; i < code.K(); i++ {
+				bad := data ^ 1<<uint(i)
+				d, c, res := code.Decode(bad, check)
+				if res != CorrectedData {
+					t.Fatalf("k=%d bit %d: result %v, want CorrectedData", code.K(), i, res)
+				}
+				if d != data || c != check {
+					t.Fatalf("k=%d bit %d: corrected to %#x/%#x, want %#x/%#x",
+						code.K(), i, d, c, data, check)
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectsEverySingleCheckBit(t *testing.T) {
+	for _, code := range []*SECDED{Word72, MAC63} {
+		rng := rand.New(rand.NewSource(2))
+		for trial := 0; trial < 50; trial++ {
+			data := rng.Uint64() & maskFor(code)
+			check := code.Encode(data)
+			for j := 0; j < code.CheckBits(); j++ {
+				bad := check ^ 1<<uint(j)
+				d, c, res := code.Decode(data, bad)
+				if res != CorrectedCheck {
+					t.Fatalf("k=%d check bit %d: result %v, want CorrectedCheck", code.K(), j, res)
+				}
+				if d != data || c != check {
+					t.Fatalf("k=%d check bit %d: wrong correction", code.K(), j)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectsAllDoubleErrors(t *testing.T) {
+	// Exhaustive over data-bit pairs for the MAC code; sampled for (72,64).
+	code := MAC63
+	data := uint64(0x00AB_CDEF_0123_4567)
+	check := code.Encode(data)
+	for i := 0; i < code.K(); i++ {
+		for j := i + 1; j < code.K(); j++ {
+			bad := data ^ 1<<uint(i) ^ 1<<uint(j)
+			_, _, res := code.Decode(bad, check)
+			if res != DetectedDouble {
+				t.Fatalf("double flip (%d,%d): result %v, want DetectedDouble", i, j, res)
+			}
+		}
+	}
+}
+
+func TestDetectsDoubleAcrossDataAndCheck(t *testing.T) {
+	code := Word72
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		data := rng.Uint64()
+		check := code.Encode(data)
+		i := rng.Intn(code.K())
+		j := rng.Intn(code.CheckBits())
+		badData := data ^ 1<<uint(i)
+		badCheck := check ^ 1<<uint(j)
+		_, _, res := code.Decode(badData, badCheck)
+		if res != DetectedDouble {
+			t.Fatalf("data bit %d + check bit %d: result %v, want DetectedDouble", i, j, res)
+		}
+	}
+}
+
+func TestTripleErrorsMayMiscorrect(t *testing.T) {
+	// SEC-DED makes no guarantee beyond 2 flips: a triple error must decode
+	// as either a (mis)correction or a detected error, but never as OK.
+	code := Word72
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		data := rng.Uint64()
+		check := code.Encode(data)
+		bits := rng.Perm(code.K())[:3]
+		bad := data
+		for _, b := range bits {
+			bad ^= 1 << uint(b)
+		}
+		_, _, res := code.Decode(bad, check)
+		if res == OK {
+			t.Fatalf("triple flip decoded as OK (flips %v)", bits)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cases := map[Result]string{
+		OK:             "ok",
+		CorrectedData:  "corrected-data",
+		CorrectedCheck: "corrected-check",
+		DetectedDouble: "detected-double",
+		Uncorrectable:  "uncorrectable",
+		Result(99):     "Result(99)",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if !OK.IsCorrected() || !CorrectedData.IsCorrected() || DetectedDouble.IsCorrected() {
+		t.Error("IsCorrected misclassifies")
+	}
+}
+
+func BenchmarkEncode64(b *testing.B) {
+	var acc uint16
+	for i := 0; i < b.N; i++ {
+		acc ^= Word72.Encode(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	sinkCheck = acc
+}
+
+func BenchmarkDecode64Clean(b *testing.B) {
+	data := uint64(0xDEADBEEFCAFEBABE)
+	check := Word72.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, res := Word72.Decode(data, check)
+		if res != OK {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+var sinkCheck uint16

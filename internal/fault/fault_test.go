@@ -1,0 +1,155 @@
+package fault
+
+import "testing"
+
+const trials = 300
+
+func TestClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Classes() {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad class name %q", s)
+		}
+		seen[s] = true
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Fatal("unknown class name")
+	}
+}
+
+func TestResultPercentages(t *testing.T) {
+	r := Result{Trials: 200, Corrected: 100, Detected: 60, Miscorrected: 40}
+	if r.CorrectedPct() != 50 || r.DetectedPct() != 30 || r.MiscorrectedPct() != 20 {
+		t.Fatalf("percentages wrong: %v %v %v",
+			r.CorrectedPct(), r.DetectedPct(), r.MiscorrectedPct())
+	}
+}
+
+// TestFigure3Matrix checks every cell of the Figure 3 comparison.
+func TestFigure3Matrix(t *testing.T) {
+	mac := func(c Class) Result {
+		r, err := InjectMACECC(c, trials, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sec := func(c Class) Result { return InjectSECDED(c, trials, 1) }
+
+	// Single bit: both correct 100%.
+	if r := sec(SingleBit); r.Corrected != trials {
+		t.Errorf("SEC-DED single bit: %+v", r)
+	}
+	if r := mac(SingleBit); r.Corrected != trials {
+		t.Errorf("MAC-ECC single bit: %+v", r)
+	}
+
+	// Two bits in one word: SEC-DED detects only; MAC-ECC corrects.
+	if r := sec(DoubleBitSameWord); r.Detected != trials {
+		t.Errorf("SEC-DED double/word should detect-only: %+v", r)
+	}
+	if r := mac(DoubleBitSameWord); r.Corrected != trials {
+		t.Errorf("MAC-ECC double/word should correct: %+v", r)
+	}
+
+	// Two bits in two words: both correct (SEC-DED per word, MAC via
+	// double flip-and-check).
+	if r := sec(DoubleBitSpread); r.Corrected != trials {
+		t.Errorf("SEC-DED spread double: %+v", r)
+	}
+	if r := mac(DoubleBitSpread); r.Corrected != trials {
+		t.Errorf("MAC-ECC spread double: %+v", r)
+	}
+
+	// Four single-bit flips in four words: SEC-DED corrects all;
+	// MAC-ECC exceeds its budget but detects (never silent).
+	if r := sec(MultiBitSpread); r.Corrected != trials {
+		t.Errorf("SEC-DED 4x1: %+v", r)
+	}
+	if r := mac(MultiBitSpread); r.Detected != trials {
+		t.Errorf("MAC-ECC 4x1 should detect-only: %+v", r)
+	}
+
+	// Three bits in one word: SEC-DED may miscorrect (silent corruption);
+	// MAC-ECC always detects.
+	if r := sec(TripleBitSameWord); r.Miscorrected == 0 {
+		t.Errorf("SEC-DED triple/word should sometimes miscorrect: %+v", r)
+	}
+	if r := mac(TripleBitSameWord); r.Detected != trials {
+		t.Errorf("MAC-ECC triple/word should detect: %+v", r)
+	}
+
+	// 8-bit burst in one word: SEC-DED unreliable; MAC-ECC detects.
+	if r := sec(Burst); r.Corrected != 0 {
+		t.Errorf("SEC-DED burst should never fully correct: %+v", r)
+	}
+	if r := mac(Burst); r.Detected != trials {
+		t.Errorf("MAC-ECC burst should detect: %+v", r)
+	}
+
+	// Two flips in every word (§3.3's 16-bit bound): SEC-DED detects all
+	// of them (2 per word is within its detection guarantee); MAC-in-ECC
+	// detects too. Neither corrects, neither is ever silent.
+	if r := sec(TwoPerWordAll); r.Detected != trials {
+		t.Errorf("SEC-DED 2x8: %+v", r)
+	}
+	if r := mac(TwoPerWordAll); r.Detected != trials {
+		t.Errorf("MAC-ECC 2x8: %+v", r)
+	}
+
+	// Check-bit faults: single corrected by both; double detected.
+	if r := sec(CheckBitSingle); r.Corrected != trials {
+		t.Errorf("SEC-DED 1 check bit: %+v", r)
+	}
+	if r := mac(CheckBitSingle); r.Corrected != trials {
+		t.Errorf("MAC-ECC 1 check bit: %+v", r)
+	}
+	if r := sec(CheckBitDouble); r.Detected != trials {
+		t.Errorf("SEC-DED 2 check bits: %+v", r)
+	}
+	if r := mac(CheckBitDouble); r.Detected != trials {
+		t.Errorf("MAC-ECC 2 check bits: %+v", r)
+	}
+}
+
+func TestMACECCBudgetZero(t *testing.T) {
+	r, err := InjectMACECC(SingleBit, 100, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 100 {
+		t.Fatalf("budget 0 should detect-only: %+v", r)
+	}
+}
+
+func TestMACECCBudgetOne(t *testing.T) {
+	r, err := InjectMACECC(DoubleBitSameWord, 100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 100 {
+		t.Fatalf("budget 1 on double flips should detect-only: %+v", r)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := InjectSECDED(TripleBitSameWord, 500, 7)
+	b := InjectSECDED(TripleBitSameWord, 500, 7)
+	if a != b {
+		t.Fatal("SEC-DED injection not deterministic")
+	}
+	c, _ := InjectMACECC(DoubleBitSpread, 200, 7, 2)
+	d, _ := InjectMACECC(DoubleBitSpread, 200, 7, 2)
+	if c != d {
+		t.Fatal("MAC-ECC injection not deterministic")
+	}
+}
+
+func BenchmarkInjectMACECCDouble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := InjectMACECC(DoubleBitSameWord, 10, int64(i), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package gf64
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if got := Add(0xF0F0, 0x0FF0); got != 0xFF00 {
+		t.Fatalf("Add = %#x, want 0xFF00", got)
+	}
+}
+
+func TestAddSelfInverse(t *testing.T) {
+	f := func(a, b uint64) bool { return Add(Add(a, b), b) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	f := func(a uint64) bool { return Mul(a, 1) == a && Mul(1, a) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulZero(t *testing.T) {
+	f := func(a uint64) bool { return Mul(a, 0) == 0 && Mul(0, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b uint64) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulByXShifts(t *testing.T) {
+	// Multiplying by x (= 2) is a left shift with conditional reduction.
+	f := func(a uint64) bool {
+		want := a << 1
+		if a>>63 == 1 {
+			want ^= Poly
+		}
+		return Mul(a, 2) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesWideReduce(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := MulWide(a, b)
+		return Reduce(hi, lo) == Mul(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulWideKnownVectors(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 63, 2, 1, 0},             // x^63 * x = x^64
+		{1 << 63, 1 << 63, 1 << 62, 0}, // x^63 * x^63 = x^126
+		{3, 3, 0, 5},                   // (x+1)^2 = x^2+1
+	}
+	for _, c := range cases {
+		hi, lo := MulWide(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("MulWide(%#x,%#x) = (%#x,%#x), want (%#x,%#x)",
+				c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(123456789, 0) != 1 {
+		t.Fatal("a^0 != 1")
+	}
+	f := func(a uint64) bool {
+		return Pow(a, 3) == Mul(a, Mul(a, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowAddsExponents(t *testing.T) {
+	f := func(a uint64, m, n uint16) bool {
+		return Mul(Pow(a, uint64(m)), Pow(a, uint64(n))) == Pow(a, uint64(m)+uint64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	if Inv(0) != 0 {
+		t.Fatal("Inv(0) should be 0 by convention")
+	}
+	f := func(a uint64) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHornerEmpty(t *testing.T) {
+	if Horner(0xDEADBEEF, nil) != 0 {
+		t.Fatal("Horner of empty message should be 0")
+	}
+}
+
+func TestHornerSingleBlock(t *testing.T) {
+	// Horner(x, [m]) = m * x
+	f := func(x, m uint64) bool {
+		return Horner(x, []uint64{m}) == Mul(m, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHornerTwoBlocks(t *testing.T) {
+	// Horner(x, [m0, m1]) = m0*x^2 + m1*x
+	f := func(x, m0, m1 uint64) bool {
+		want := Add(Mul(m0, Mul(x, x)), Mul(m1, x))
+		return Horner(x, []uint64{m0, m1}) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHornerSensitiveToOrder(t *testing.T) {
+	x := uint64(0x1234_5678_9ABC_DEF1)
+	a := Horner(x, []uint64{1, 2})
+	b := Horner(x, []uint64{2, 1})
+	if a == b {
+		t.Fatal("Horner must distinguish block order")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < b.N; i++ {
+		acc = Mul(acc, 0xDEADBEEFCAFEBABE)
+	}
+	sink = acc
+}
+
+func BenchmarkHorner8(b *testing.B) {
+	msg := make([]uint64, 8)
+	for i := range msg {
+		msg[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	b.ResetTimer()
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Horner(0xABCDEF0123456789, msg)
+	}
+	sink = acc
+}
+
+var sink uint64

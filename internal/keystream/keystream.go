@@ -1,0 +1,72 @@
+// Package keystream implements the counter-mode encryption pad used for
+// memory encryption.
+//
+// As in §2.1 of the paper, each 64-byte block is encrypted by XOR with a
+// keystream generated from AES over (physical address, counter) seeds. The
+// address makes pads unique across blocks; the counter makes them unique
+// across writes to the same block. The critical security invariant —
+// never reuse a (address, counter) pair under one key — is what the
+// counter schemes in internal/ctr exist to maintain.
+package keystream
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"authmem/internal/aes"
+)
+
+// BlockSize is the encryption granularity in bytes (one cache line).
+const BlockSize = 64
+
+// Cipher generates 64-byte keystream pads with AES-128.
+type Cipher struct {
+	blk cipher.Block
+}
+
+// New creates a Cipher from a 16-byte AES-128 key (24/32 bytes select
+// AES-192/256). The block cipher is the repository's own FIPS-197
+// implementation (internal/aes), cross-validated against crypto/aes.
+func New(key []byte) (*Cipher, error) {
+	blk, err := aes.New(key)
+	if err != nil {
+		return nil, fmt.Errorf("keystream: %w", err)
+	}
+	return &Cipher{blk: blk}, nil
+}
+
+// Pad writes the 64-byte keystream for (addr, counter) into dst.
+// The pad is four AES blocks over (addr, counter, lane) tuples.
+func (c *Cipher) Pad(dst []byte, addr, counter uint64) error {
+	if len(dst) != BlockSize {
+		return fmt.Errorf("keystream: dst must be %d bytes, got %d", BlockSize, len(dst))
+	}
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[:8], addr)
+	for lane := 0; lane < 4; lane++ {
+		// Mix the lane index into the top byte of the counter half so
+		// the four AES inputs are distinct. Counters are at most 56
+		// bits, so the top byte is free.
+		binary.LittleEndian.PutUint64(in[8:], counter|uint64(lane)<<56)
+		c.blk.Encrypt(dst[lane*16:(lane+1)*16], in[:])
+	}
+	return nil
+}
+
+// XOR applies the keystream for (addr, counter) to src, writing into dst.
+// dst and src may alias; both must be 64 bytes. Calling XOR twice with the
+// same seeds is the identity, so the same call path encrypts and decrypts.
+func (c *Cipher) XOR(dst, src []byte, addr, counter uint64) error {
+	if len(src) != BlockSize || len(dst) != BlockSize {
+		return fmt.Errorf("keystream: src/dst must be %d bytes", BlockSize)
+	}
+	var pad [BlockSize]byte
+	if err := c.Pad(pad[:], addr, counter); err != nil {
+		return err
+	}
+	for i := range pad {
+		dst[i] = src[i] ^ pad[i]
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package mac implements the 56-bit Carter-Wegman message authentication
+// code the paper adopts from Intel SGX (Gueron, "Memory Encryption for
+// General-Purpose Processors").
+//
+// The tag for a 64-byte ciphertext block C stored at physical address A
+// under write counter CTR is
+//
+//	tag = truncate56( PolyHash_h(C) XOR PRF_k(A, CTR) )
+//
+// where PolyHash_h is a polynomial hash over GF(2^64) keyed by the secret
+// field point h, and PRF_k is AES-128 over the (address, counter) nonce.
+// Binding the counter into the tag is what makes Bonsai Merkle trees sound:
+// protecting counter integrity transitively protects data integrity,
+// because replaying stale data with the current counter changes the tag.
+//
+// 56 bits is short by general-purpose MAC standards, but as §3.2 of the
+// paper argues (following SGX's analysis), forgery attempts are rate-limited
+// by the memory bus of the machine under attack, which pushes expected
+// forgery time to millions of years.
+package mac
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"authmem/internal/aes"
+	"authmem/internal/gf64"
+)
+
+// TagBits is the width of a truncated tag.
+const TagBits = 56
+
+// TagMask masks a uint64 down to a 56-bit tag.
+const TagMask = (uint64(1) << TagBits) - 1
+
+// BlockSize is the protected data granularity in bytes.
+const BlockSize = 64
+
+// Key holds the two secrets of the Carter-Wegman construction: the
+// polynomial-hash point and an AES key for the pad PRF.
+type Key struct {
+	h   uint64 // GF(2^64) hash point; must be secret and nonzero
+	prf cipher.Block
+}
+
+// NewKey derives a MAC key from 24 bytes of key material: the first 8 bytes
+// seed the hash point, the remaining 16 form the AES-128 PRF key.
+func NewKey(material []byte) (*Key, error) {
+	if len(material) != 24 {
+		return nil, fmt.Errorf("mac: key material must be 24 bytes, got %d", len(material))
+	}
+	h := binary.LittleEndian.Uint64(material[:8])
+	if h == 0 {
+		// A zero hash point would collapse the polynomial hash; any
+		// fixed nonzero substitute preserves uniformity of the family.
+		h = 1
+	}
+	blk, err := aes.New(material[8:])
+	if err != nil {
+		return nil, fmt.Errorf("mac: %w", err)
+	}
+	return &Key{h: h, prf: blk}, nil
+}
+
+// HashPoint returns the secret GF(2^64) hash point. It is exposed (within
+// this module only) for the MAC-in-ECC flip-and-check accelerator, which
+// precomputes per-bit tag contributions from it; hardware would wire the
+// same secret into the correction engine.
+func (k *Key) HashPoint() uint64 { return k.h }
+
+// Tag computes the 56-bit tag for a 64-byte ciphertext block at the given
+// physical block address and counter value.
+func (k *Key) Tag(ciphertext []byte, addr uint64, counter uint64) (uint64, error) {
+	if len(ciphertext) != BlockSize {
+		return 0, fmt.Errorf("mac: ciphertext must be %d bytes, got %d", BlockSize, len(ciphertext))
+	}
+	var words [BlockSize / 8]uint64
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(ciphertext[i*8:])
+	}
+	hash := gf64.Horner(k.h, words[:])
+	return (hash ^ k.pad(addr, counter)) & TagMask, nil
+}
+
+// Verify reports whether tag authenticates the ciphertext at (addr, counter).
+func (k *Key) Verify(ciphertext []byte, addr, counter, tag uint64) (bool, error) {
+	want, err := k.Tag(ciphertext, addr, counter)
+	if err != nil {
+		return false, err
+	}
+	return want == tag&TagMask, nil
+}
+
+// pad computes PRF_k(addr, counter): one AES block over the nonce,
+// truncated to 64 bits.
+func (k *Key) pad(addr, counter uint64) uint64 {
+	var in, out [16]byte
+	binary.LittleEndian.PutUint64(in[:8], addr)
+	binary.LittleEndian.PutUint64(in[8:], counter)
+	k.prf.Encrypt(out[:], in[:])
+	return binary.LittleEndian.Uint64(out[:8])
+}

@@ -1,0 +1,84 @@
+package macecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestFastMatchesSequential cross-validates the algebraic flip-and-check
+// accelerator against the literal brute-force specification on random fault
+// patterns: same status, same corrections, same restored data, same
+// hardware-cost accounting.
+func TestFastMatchesSequential(t *testing.T) {
+	fast := testVerifier(t, 2)
+	seq := &SequentialVerifier{Inner: fast}
+	rng := rand.New(rand.NewSource(42))
+
+	for trial := 0; trial < 60; trial++ {
+		ct := make([]byte, BlockSize)
+		rng.Read(ct)
+		addr, counter := uint64(trial)*64, uint64(trial)
+		tag, err := fast.key.Tag(ct, addr, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := PackMeta(tag, ct)
+
+		// Random fault: 0..3 data flips, 0..1 MAC flips.
+		bad := append([]byte(nil), ct...)
+		nData := rng.Intn(4)
+		for _, b := range rng.Perm(blockBits)[:nData] {
+			bad[b/8] ^= 1 << uint(b%8)
+		}
+		badMeta := meta
+		if rng.Intn(2) == 1 {
+			badMeta = badMeta.Flip(rng.Intn(63))
+		}
+
+		fCT := append([]byte(nil), bad...)
+		fMeta := badMeta
+		fOut, err := fast.VerifyAndCorrect(fCT, &fMeta, addr, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sCT := append([]byte(nil), bad...)
+		sMeta := badMeta
+		sOut, err := seq.VerifyAndCorrect(sCT, &sMeta, addr, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if fOut != sOut {
+			t.Fatalf("trial %d (%d data flips): fast %+v, sequential %+v",
+				trial, nData, fOut, sOut)
+		}
+		if !bytes.Equal(fCT, sCT) || fMeta != sMeta {
+			t.Fatalf("trial %d: repaired states diverge", trial)
+		}
+		if fOut.Status == OK && nData <= 2 && !bytes.Equal(fCT, ct) {
+			t.Fatalf("trial %d: correction did not restore the original", trial)
+		}
+	}
+}
+
+func TestSequentialValidatesInput(t *testing.T) {
+	seq := &SequentialVerifier{Inner: testVerifier(t, 2)}
+	var meta Meta
+	if _, err := seq.VerifyAndCorrect(make([]byte, 10), &meta, 0, 0); err == nil {
+		t.Fatal("short block should fail")
+	}
+}
+
+func TestSequentialDoubleMACCorruption(t *testing.T) {
+	seq := &SequentialVerifier{Inner: testVerifier(t, 2)}
+	ct, meta := protect(t, seq.Inner, 99, 0, 0)
+	m := meta.Flip(1).Flip(50)
+	out, err := seq.VerifyAndCorrect(ct, &m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != Uncorrectable {
+		t.Fatalf("outcome %+v", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim wires workloads, the CPU model, and the secure memory
+// controller into the paper's two headline experiments:
+//
+//   - MeasureReencryption drives an application's post-LLC writeback
+//     stream through a counter scheme and reports re-encryptions per 10^9
+//     cycles (Table 2).
+//   - MeasureIPC runs an application's instruction traces on the 4-core
+//     system over a full memory-encryption design point and reports IPC
+//     (Figure 8).
+package sim
+
+import (
+	"fmt"
+
+	"authmem/internal/core"
+	"authmem/internal/cpu"
+	"authmem/internal/ctr"
+	"authmem/internal/dram"
+	"authmem/internal/trace"
+	"authmem/internal/workload"
+)
+
+// ReencryptionResult is one Table 2 cell with its supporting events.
+type ReencryptionResult struct {
+	App        string
+	Scheme     string
+	Writebacks uint64
+	Cycles     float64
+	// PerBillionCycles is the Table 2 metric.
+	PerBillionCycles float64
+	Stats            ctr.Stats
+}
+
+// MeasureReencryption streams `writebacks` post-LLC writes of the given
+// application through a counter scheme. The application's writeback rate
+// converts the event count to the paper's per-10^9-cycles normalization.
+func MeasureReencryption(app workload.App, kind ctr.Kind, writebacks uint64, seed int64) (ReencryptionResult, error) {
+	if writebacks == 0 {
+		return ReencryptionResult{}, fmt.Errorf("sim: need a positive writeback count")
+	}
+	if app.WB.PerKiloCycle <= 0 {
+		return ReencryptionResult{}, fmt.Errorf("sim: app %q has no writeback rate", app.Name)
+	}
+	scheme, err := ctr.NewScheme(kind)
+	if err != nil {
+		return ReencryptionResult{}, err
+	}
+	gen := app.WritebackGen(seed)
+	for i := uint64(0); i < writebacks; i++ {
+		scheme.Touch(gen.Next())
+	}
+	cycles := float64(writebacks) * 1000 / app.WB.PerKiloCycle
+	st := scheme.Stats()
+	return ReencryptionResult{
+		App:              app.Name,
+		Scheme:           scheme.Name(),
+		Writebacks:       writebacks,
+		Cycles:           cycles,
+		PerBillionCycles: float64(st.Reencryptions) * 1e9 / cycles,
+		Stats:            st,
+	}, nil
+}
+
+// DesignPoint names a memory-encryption configuration for Figure 8.
+type DesignPoint struct {
+	// Name labels the series in reports.
+	Name string
+	// Config is the controller design.
+	Config core.Config
+}
+
+// StandardDesignPoints returns the Figure 8 series:
+// the unprotected baseline IPC is normalized against, "bmt" is the
+// Bonsai-Merkle-tree baseline (monolithic counters, inline MACs),
+// "mac-ecc" adds only the §3 optimization, and "proposed" combines
+// MAC-in-ECC with delta-encoded counters.
+func StandardDesignPoints() []DesignPoint {
+	noEnc := core.Default(ctr.Monolithic, core.MACInline)
+	noEnc.DisableEncryption = true
+	noEnc.KeyMaterial = nil
+	return []DesignPoint{
+		{Name: "no-encryption", Config: noEnc},
+		{Name: "bmt", Config: core.Default(ctr.Monolithic, core.MACInline)},
+		{Name: "mac-ecc", Config: core.Default(ctr.Monolithic, core.MACInECC)},
+		{Name: "proposed", Config: core.Default(ctr.Delta, core.MACInECC)},
+	}
+}
+
+// IPCResult is one Figure 8 measurement.
+type IPCResult struct {
+	App    string
+	Design string
+	// IPC is per-core IPC.
+	IPC float64
+	// CPU carries instruction/cycle/stall detail.
+	CPU cpu.Result
+	// Timing classifies the controller's DRAM transactions.
+	Timing core.TimingStats
+	// MetaHitRate is the counter/MAC cache hit rate.
+	MetaHitRate float64
+	// TreeLevels is the off-chip read depth (+1 for the counter block).
+	TreeLevels int
+	// DRAM carries device-level statistics (row-buffer behaviour,
+	// refresh, average latency).
+	DRAM dram.Stats
+	// ReadLatencyP50/P95/P99 are DRAM read-latency percentile upper
+	// bounds in CPU cycles.
+	ReadLatencyP50 uint64
+	ReadLatencyP95 uint64
+	ReadLatencyP99 uint64
+}
+
+// MeasureIPC runs one application on the Table 1 system under the given
+// design point. opsPerCore scales simulation length (memory operations per
+// core); results are stable above ~10^5 for the bundled workloads.
+func MeasureIPC(app workload.App, dp DesignPoint, opsPerCore uint64, seed int64) (IPCResult, error) {
+	cfg := dp.Config
+	// The protected region must cover the workload footprint.
+	if cfg.RegionBytes < app.FootprintBytes {
+		cfg.RegionBytes = app.FootprintBytes
+	}
+	mem := dram.MustNew(dram.DDR3_1600(4))
+	tm, err := core.NewTimingModel(cfg, mem)
+	if err != nil {
+		return IPCResult{}, err
+	}
+	cpuCfg := cpu.Table1()
+	gens := make([]trace.Generator, cpuCfg.Cores)
+	for i := range gens {
+		gens[i] = app.TraceGen(i, opsPerCore, seed)
+	}
+	sys, err := cpu.New(cpuCfg, gens, tm)
+	if err != nil {
+		return IPCResult{}, err
+	}
+	res := sys.Run()
+	lat := mem.ReadLatencyHistogram()
+	out := IPCResult{
+		App:            app.Name,
+		Design:         dp.Name,
+		IPC:            res.IPC,
+		CPU:            res,
+		Timing:         tm.Stats(),
+		MetaHitRate:    tm.MetadataCacheStats().HitRate(),
+		DRAM:           mem.Stats(),
+		ReadLatencyP50: lat.Percentile(0.50),
+		ReadLatencyP95: lat.Percentile(0.95),
+		ReadLatencyP99: lat.Percentile(0.99),
+	}
+	if !cfg.DisableEncryption {
+		out.TreeLevels = tm.OffChipTreeLevels() + 1
+	}
+	return out, nil
+}
+
+// NormalizedIPC runs all design points for one application and returns
+// IPCs normalized to the no-encryption baseline — the exact quantity
+// Figure 8 plots.
+func NormalizedIPC(app workload.App, points []DesignPoint, opsPerCore uint64, seed int64) (map[string]float64, []IPCResult, error) {
+	var results []IPCResult
+	var baseline float64
+	for _, dp := range points {
+		r, err := MeasureIPC(app, dp, opsPerCore, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, r)
+		if dp.Config.DisableEncryption {
+			baseline = r.IPC
+		}
+	}
+	if baseline == 0 {
+		return nil, nil, fmt.Errorf("sim: design points must include a no-encryption baseline")
+	}
+	norm := make(map[string]float64, len(results))
+	for _, r := range results {
+		norm[r.Design] = r.IPC / baseline
+	}
+	return norm, results, nil
+}

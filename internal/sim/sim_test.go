@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"testing"
+
+	"authmem/internal/core"
+	"authmem/internal/ctr"
+	"authmem/internal/workload"
+)
+
+func app(t testing.TB, name string) workload.App {
+	t.Helper()
+	a, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	return a
+}
+
+func TestMeasureReencryptionValidation(t *testing.T) {
+	a := app(t, "canneal")
+	if _, err := MeasureReencryption(a, ctr.Split, 0, 1); err == nil {
+		t.Fatal("zero writebacks should fail")
+	}
+	bad := a
+	bad.WB.PerKiloCycle = 0
+	if _, err := MeasureReencryption(bad, ctr.Split, 100, 1); err == nil {
+		t.Fatal("zero rate should fail")
+	}
+	if _, err := MeasureReencryption(a, ctr.Kind(99), 100, 1); err == nil {
+		t.Fatal("unknown scheme should fail")
+	}
+}
+
+func TestMeasureReencryptionNormalization(t *testing.T) {
+	a := app(t, "canneal")
+	r, err := MeasureReencryption(a, ctr.Split, 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.App != "canneal" || r.Scheme != "split-7" {
+		t.Fatalf("labels %q/%q", r.App, r.Scheme)
+	}
+	wantCycles := 1_000_000.0 * 1000 / a.WB.PerKiloCycle
+	if r.Cycles != wantCycles {
+		t.Fatalf("cycles %v, want %v", r.Cycles, wantCycles)
+	}
+	wantRate := float64(r.Stats.Reencryptions) * 1e9 / wantCycles
+	if r.PerBillionCycles != wantRate {
+		t.Fatalf("rate %v, want %v", r.PerBillionCycles, wantRate)
+	}
+}
+
+// TestTable2Ordering verifies the qualitative content of Table 2 on a
+// reduced writeback volume: per-app scheme orderings and the headline
+// cross-scheme contrasts.
+func TestTable2Ordering(t *testing.T) {
+	const n = 4_000_000
+	// The sweep-class split/delta contrast needs >=128 sequential passes
+	// over the sweep region, hence the larger volume for facesim/dedup.
+	const nSweep = 14_000_000
+	measureN := func(name string, k ctr.Kind, vol uint64) float64 {
+		r, err := MeasureReencryption(app(t, name), k, vol, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.PerBillionCycles
+	}
+	measure := func(name string, k ctr.Kind) float64 { return measureN(name, k, n) }
+
+	// facesim & dedup: delta crushes split; facesim is the one app where
+	// dual-length is worse than delta.
+	for _, name := range []string{"facesim", "dedup"} {
+		split, delta := measureN(name, ctr.Split, nSweep), measureN(name, ctr.Delta, nSweep)
+		if delta*4 > split {
+			t.Errorf("%s: delta %f not well below split %f", name, delta, split)
+		}
+	}
+	if fd, fu := measureN("facesim", ctr.Delta, nSweep), measureN("facesim", ctr.DualLength, nSweep); fu <= fd {
+		t.Errorf("facesim: dual %f should exceed delta %f", fu, fd)
+	}
+	if dd, du := measureN("dedup", ctr.Delta, nSweep), measureN("dedup", ctr.DualLength, nSweep); du >= dd {
+		t.Errorf("dedup: dual %f should be below delta %f", du, dd)
+	}
+
+	// canneal & vips: delta gains nothing over split (within noise),
+	// dual-length is somewhat better.
+	for _, name := range []string{"canneal", "vips"} {
+		split, delta := measure(name, ctr.Split), measure(name, ctr.Delta)
+		if delta < split*0.9 || delta > split*1.1 {
+			t.Errorf("%s: delta %f should match split %f", name, delta, split)
+		}
+		if dual := measure(name, ctr.DualLength); dual >= split {
+			t.Errorf("%s: dual %f should be below split %f", name, dual, split)
+		}
+	}
+
+	// Compute-bound apps: nothing re-encrypts.
+	for _, name := range []string{"swaptions", "blackscholes", "bodytrack"} {
+		for _, k := range []ctr.Kind{ctr.Split, ctr.Delta, ctr.DualLength} {
+			if rate := measure(name, k); rate != 0 {
+				t.Errorf("%s/%v: rate %f, want 0", name, k, rate)
+			}
+		}
+	}
+
+	// Monolithic counters never re-encrypt anywhere.
+	if rate := measure("facesim", ctr.Monolithic); rate != 0 {
+		t.Errorf("monolithic re-encrypted: %f", rate)
+	}
+}
+
+func TestStandardDesignPoints(t *testing.T) {
+	pts := StandardDesignPoints()
+	if len(pts) != 4 {
+		t.Fatalf("%d design points, want 4", len(pts))
+	}
+	if !pts[0].Config.DisableEncryption {
+		t.Fatal("first point should be the no-encryption baseline")
+	}
+	for _, p := range pts[1:] {
+		if p.Config.DisableEncryption {
+			t.Fatalf("%s: encryption disabled", p.Name)
+		}
+		if err := p.Config.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	if pts[3].Config.Scheme != ctr.Delta || pts[3].Config.Placement != core.MACInECC {
+		t.Fatal("proposed point should be delta + MAC-in-ECC")
+	}
+}
+
+// TestFigure8Shape runs the full pipeline on one memory-bound and one
+// compute-bound app and checks the paper's qualitative result: encryption
+// costs IPC, each optimization recovers some, and compute-bound apps are
+// unaffected.
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	points := StandardDesignPoints()
+
+	norm, results, err := NormalizedIPC(app(t, "canneal"), points, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	if !(norm["bmt"] < norm["mac-ecc"] && norm["mac-ecc"] < norm["proposed"] && norm["proposed"] < 1) {
+		t.Errorf("canneal ordering violated: %+v", norm)
+	}
+	if norm["bmt"] > 0.9 {
+		t.Errorf("canneal bmt %.3f: encryption should hurt a memory-bound app", norm["bmt"])
+	}
+
+	// Longer run for the compute-bound app: short runs are cold-miss
+	// dominated, which overstates encryption impact.
+	flat, _, err := NormalizedIPC(app(t, "swaptions"), points, 500_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat["proposed"] < 0.97 {
+		t.Errorf("swaptions proposed %.3f: compute-bound app should be unaffected", flat["proposed"])
+	}
+	if flat["bmt"] < 0.85 {
+		t.Errorf("swaptions bmt %.3f: impact should be small", flat["bmt"])
+	}
+}
+
+func TestMeasureIPCDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	points := StandardDesignPoints()
+	r, err := MeasureIPC(app(t, "facesim"), points[1], 50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.App != "facesim" || r.Design != "bmt" {
+		t.Fatalf("labels %q/%q", r.App, r.Design)
+	}
+	if r.IPC <= 0 || r.CPU.Instructions == 0 {
+		t.Fatalf("empty result %+v", r)
+	}
+	if r.TreeLevels != 5 {
+		t.Fatalf("bmt tree levels %d, want 5", r.TreeLevels)
+	}
+	if r.Timing.MACReads == 0 {
+		t.Fatal("bmt should fetch MACs")
+	}
+
+	rp, err := MeasureIPC(app(t, "facesim"), points[3], 50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.TreeLevels != 4 {
+		t.Fatalf("proposed tree levels %d, want 4", rp.TreeLevels)
+	}
+	if rp.Timing.MACReads != 0 {
+		t.Fatal("MAC-in-ECC should not fetch MACs")
+	}
+	if rp.MetaHitRate <= r.MetaHitRate {
+		t.Error("proposed design should improve the metadata cache hit rate")
+	}
+}
+
+// TestFigure8StableAcrossSeeds guards the headline ordering against
+// seed-level flakiness: for three independent trace seeds, the design-point
+// ordering must hold every time.
+func TestFigure8StableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	points := StandardDesignPoints()
+	a := app(t, "ferret")
+	for seed := int64(1); seed <= 3; seed++ {
+		norm, _, err := NormalizedIPC(a, points, 120_000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(norm["bmt"] < norm["mac-ecc"] && norm["mac-ecc"] < norm["proposed"]) {
+			t.Errorf("seed %d: ordering violated: %+v", seed, norm)
+		}
+	}
+}
+
+// TestTable2StableAcrossSeeds does the same for the re-encryption contrast.
+func TestTable2StableAcrossSeeds(t *testing.T) {
+	a := app(t, "canneal")
+	for seed := int64(1); seed <= 3; seed++ {
+		split, err := MeasureReencryption(a, ctr.Split, 3_000_000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual, err := MeasureReencryption(a, ctr.DualLength, 3_000_000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dual.PerBillionCycles >= split.PerBillionCycles {
+			t.Errorf("seed %d: dual %f not below split %f", seed,
+				dual.PerBillionCycles, split.PerBillionCycles)
+		}
+	}
+}
+
+// TestProposedUsesLessDRAMEnergy checks §4.1's efficiency claim end to end:
+// for identical work, the proposed design consumes less DRAM dynamic energy
+// than the BMT baseline (fewer transactions, fewer activations).
+func TestProposedUsesLessDRAMEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	points := StandardDesignPoints()
+	a := app(t, "canneal")
+	_, results, err := NormalizedIPC(a, points, 120_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := map[string]float64{}
+	for _, r := range results {
+		energy[r.Design] = r.DRAM.EnergyMJ()
+	}
+	if energy["proposed"] >= energy["bmt"] {
+		t.Fatalf("proposed %.3f mJ not below bmt %.3f mJ", energy["proposed"], energy["bmt"])
+	}
+	if energy["mac-ecc"] >= energy["bmt"] {
+		t.Fatalf("mac-ecc %.3f mJ not below bmt %.3f mJ", energy["mac-ecc"], energy["bmt"])
+	}
+}
+
+func TestNormalizedIPCRequiresBaseline(t *testing.T) {
+	pts := StandardDesignPoints()[1:2] // bmt only
+	if _, _, err := NormalizedIPC(app(t, "swaptions"), pts, 10_000, 1); err == nil {
+		t.Fatal("missing baseline should fail")
+	}
+}
+
+func BenchmarkMeasureReencryption(b *testing.B) {
+	a, _ := workload.ByName("canneal")
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureReencryption(a, ctr.Delta, 1_000_000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

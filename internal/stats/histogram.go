@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed histogram for latency-like values.
+// Bucket i collects values whose bit length is i (i.e. [2^(i-1), 2^i - 1]),
+// with bucket 0 holding zeros. Observation is O(1) and allocation-free.
+type Histogram struct {
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observed value.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound for the p-quantile (0 < p <= 1): the
+// top of the bucket containing it. Resolution is a factor of two, which is
+// what latency tails need.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			upper := uint64(1)<<uint(i) - 1
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p95<=%d p99<=%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.95),
+		h.Percentile(0.99), h.max)
+}
+
+// Bars renders an ASCII bar chart of the non-empty buckets.
+func (h *Histogram) Bars(width int) string {
+	if h.count == 0 {
+		return "(empty)\n"
+	}
+	var peak uint64
+	lo, hi := -1, 0
+	for i, c := range h.buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := int(h.buckets[i] * uint64(width) / peak)
+		var upper uint64
+		if i > 0 {
+			upper = uint64(1)<<uint(i) - 1
+		}
+		fmt.Fprintf(&b, "%10d  %-*s %d\n", upper, width, strings.Repeat("#", n), h.buckets[i])
+	}
+	return b.String()
+}

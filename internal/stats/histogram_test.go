@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.Bars(10) != "(empty)\n" {
+		t.Fatal("empty bars wrong")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %d", h.Max())
+	}
+	want := float64(0+1+2+3+100+1000) / 6
+	if h.Mean() != want {
+		t.Fatalf("mean %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	// The reported quantile upper bound must always be >= the true
+	// quantile and <= 2x it (power-of-two buckets).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		values := make([]uint64, 1000)
+		for i := range values {
+			values[i] = uint64(rng.Intn(100000)) + 1
+			h.Observe(values[i])
+		}
+		// True p50 via sort-free selection: count <= bound.
+		for _, p := range []float64{0.5, 0.95, 0.99} {
+			bound := h.Percentile(p)
+			var below uint64
+			for _, v := range values {
+				if v <= bound {
+					below++
+				}
+			}
+			if float64(below) < p*1000 {
+				return false // bound excluded part of the quantile
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPercentileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	if h.Percentile(-1) != h.Percentile(0) {
+		t.Fatal("negative p should clamp")
+	}
+	if h.Percentile(2) != 7 {
+		t.Fatal("p>1 should clamp to max")
+	}
+}
+
+func TestHistogramMaxCapsPercentile(t *testing.T) {
+	var h Histogram
+	h.Observe(5) // bucket 3 upper bound is 7, but max is 5
+	if got := h.Percentile(1); got != 5 {
+		t.Fatalf("percentile %d, want capped at 5", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	s := h.String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "max=20") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 8; i++ {
+		h.Observe(100)
+	}
+	h.Observe(3)
+	out := h.Bars(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("bars output:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Fatal("no bars rendered")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) * 7)
+	}
+}

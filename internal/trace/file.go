@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format, for interchange with external tools and for
+// replaying captured workloads deterministically:
+//
+//	header:  4-byte magic "AMT1"
+//	records: repeated { gap uint32 | op uint8 | addr uint64 }  little-endian
+//
+// The format is deliberately flat — 13 bytes per record — so files can be
+// produced by anything (a Pin tool, a simulator hook) with no dependencies.
+
+// fileMagic identifies trace files (format version 1).
+var fileMagic = [4]byte{'A', 'M', 'T', '1'}
+
+// ErrBadMagic is returned when a trace file does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file?)")
+
+// ErrTruncated is returned when a trace file ends mid-record.
+var ErrTruncated = errors.New("trace: truncated record")
+
+const recordBytes = 4 + 1 + 8
+
+// Writer streams records into a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordBytes]byte
+	n   uint64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *Writer) Write(r Record) error {
+	binary.LittleEndian.PutUint32(t.buf[0:], r.Gap)
+	t.buf[4] = byte(r.Op)
+	binary.LittleEndian.PutUint64(t.buf[5:], r.Addr)
+	if _, err := t.w.Write(t.buf[:]); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush drains buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Reader streams records from a trace file and implements Generator.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordBytes]byte
+	err error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at a clean end of file.
+func (t *Reader) Read() (Record, error) {
+	if t.err != nil {
+		return Record{}, t.err
+	}
+	n, err := io.ReadFull(t.r, t.buf[:])
+	switch {
+	case err == io.EOF && n == 0:
+		t.err = io.EOF
+		return Record{}, io.EOF
+	case err != nil:
+		t.err = ErrTruncated
+		return Record{}, ErrTruncated
+	}
+	op := Op(t.buf[4])
+	if op != Load && op != Store {
+		t.err = fmt.Errorf("trace: invalid op %d", t.buf[4])
+		return Record{}, t.err
+	}
+	return Record{
+		Gap:  binary.LittleEndian.Uint32(t.buf[0:]),
+		Op:   op,
+		Addr: binary.LittleEndian.Uint64(t.buf[5:]),
+	}, nil
+}
+
+// Err returns the terminal error after Next reports exhaustion: nil or
+// io.EOF for a clean end, something else for corruption.
+func (t *Reader) Err() error {
+	if t.err == io.EOF {
+		return nil
+	}
+	return t.err
+}
+
+// Next implements Generator; errors terminate the stream (check Err).
+func (t *Reader) Next() (Record, bool) {
+	r, err := t.Read()
+	if err != nil {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// Copy drains a Generator into a Writer and returns the record count.
+func Copy(w *Writer, g Generator) (uint64, error) {
+	var n uint64
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return n, w.Flush()
+		}
+		if err := w.Write(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

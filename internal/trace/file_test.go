@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	f := func(seed int64, ops uint16) bool {
+		cfg := SyntheticConfig{
+			Ops: uint64(ops)%500 + 1, MeanGap: 7, WriteFrac: 0.4,
+			Pattern: Hotspot, FootprintBytes: 1 << 20,
+			HotFrac: 0.5, HotBytes: 4096, Seed: seed,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		n, err := Copy(w, NewSynthetic(cfg))
+		if err != nil || n != cfg.Ops || w.Count() != n {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		want := NewSynthetic(cfg)
+		for {
+			wr, ok := want.Next()
+			gr, gok := r.Next()
+			if ok != gok {
+				return false
+			}
+			if !ok {
+				break
+			}
+			if wr != gr {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("AM"))); err == nil {
+		t.Fatal("short header should fail")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Gap: 1, Op: Store, Addr: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record yielded")
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", r.Err())
+	}
+}
+
+func TestReaderInvalidOp(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	buf.Write(make([]byte, 4)) // gap
+	buf.WriteByte(9)           // bogus op
+	buf.Write(make([]byte, 8)) // addr
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("invalid op yielded")
+	}
+	if r.Err() == nil {
+		t.Fatal("invalid op should surface via Err")
+	}
+}
+
+func TestReaderCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF should be nil Err, got %v", r.Err())
+	}
+	// Subsequent reads keep returning EOF.
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatal("EOF not sticky")
+	}
+}
+
+func TestReaderIsGenerator(t *testing.T) {
+	var _ Generator = (*Reader)(nil)
+}
+
+func BenchmarkFileWrite(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := Record{Gap: 5, Op: Load, Addr: 0xDEADBEEF}
+	b.SetBytes(recordBytes)
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through the trace-file reader: it must
+// never panic, and every record it yields must be well-formed.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Gap: 3, Op: Store, Addr: 128})
+	w.Write(Record{Gap: 0, Op: Load, Addr: 1 << 40})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(fileMagic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			if rec.Op != Load && rec.Op != Store {
+				t.Fatalf("reader yielded invalid op %d", rec.Op)
+			}
+			if n++; n > len(data) {
+				t.Fatal("reader yielded more records than the input could hold")
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"testing"
+)
+
+func drain(g Generator, max int) []Record {
+	var out []Record
+	for len(out) < max {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestSliceGenerator(t *testing.T) {
+	recs := []Record{{Gap: 1, Op: Load, Addr: 0}, {Gap: 2, Op: Store, Addr: 64}}
+	g := &SliceGenerator{Records: recs}
+	out := drain(g, 10)
+	if len(out) != 2 || out[0] != recs[0] || out[1] != recs[1] {
+		t.Fatalf("replay mismatch: %+v", out)
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("exhausted generator yielded a record")
+	}
+}
+
+func TestSyntheticCount(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 1000, FootprintBytes: 1 << 20, Pattern: Random})
+	if n := len(drain(g, 2000)); n != 1000 {
+		t.Fatalf("emitted %d records, want 1000", n)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Ops: 500, MeanGap: 10, WriteFrac: 0.3,
+		Pattern: Hotspot, FootprintBytes: 1 << 20, HotFrac: 0.5, HotBytes: 4096, Seed: 42}
+	a := drain(NewSynthetic(cfg), 1000)
+	b := drain(NewSynthetic(cfg), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestSequentialPattern(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 10, Pattern: Sequential, FootprintBytes: 4 * 64, BaseAddr: 1 << 20})
+	out := drain(g, 10)
+	for i, r := range out {
+		want := uint64(1<<20) + uint64(i%4)*64
+		if r.Addr != want {
+			t.Fatalf("record %d addr %#x, want %#x", i, r.Addr, want)
+		}
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 4, Pattern: Strided, FootprintBytes: 1 << 12, StrideBytes: 256})
+	out := drain(g, 4)
+	for i, r := range out {
+		want := uint64(i) * 256 % (1 << 12)
+		if r.Addr != want {
+			t.Fatalf("record %d addr %#x, want %#x", i, r.Addr, want)
+		}
+	}
+}
+
+func TestRandomStaysInFootprint(t *testing.T) {
+	base, fp := uint64(1<<30), uint64(1<<16)
+	g := NewSynthetic(SyntheticConfig{Ops: 5000, Pattern: Random, BaseAddr: base, FootprintBytes: fp, Seed: 7})
+	for _, r := range drain(g, 5000) {
+		if r.Addr < base || r.Addr >= base+fp {
+			t.Fatalf("address %#x outside footprint", r.Addr)
+		}
+		if r.Addr%64 != 0 {
+			t.Fatalf("address %#x not block aligned", r.Addr)
+		}
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 20000, Pattern: Hotspot,
+		FootprintBytes: 1 << 24, HotFrac: 0.9, HotBytes: 1 << 12, Seed: 9})
+	hot := 0
+	for _, r := range drain(g, 20000) {
+		if r.Addr < 1<<12 {
+			hot++
+		}
+	}
+	if hot < 17000 {
+		t.Fatalf("only %d/20000 accesses hit the hot set", hot)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 20000, Pattern: Random,
+		FootprintBytes: 1 << 20, WriteFrac: 0.25, Seed: 11})
+	stores := 0
+	for _, r := range drain(g, 20000) {
+		if r.Op == Store {
+			stores++
+		}
+	}
+	if stores < 4500 || stores > 5500 {
+		t.Fatalf("store fraction %d/20000, want ~25%%", stores)
+	}
+}
+
+func TestMeanGap(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 20000, MeanGap: 20, Pattern: Random,
+		FootprintBytes: 1 << 20, Seed: 13})
+	var total uint64
+	for _, r := range drain(g, 20000) {
+		total += uint64(r.Gap)
+	}
+	mean := float64(total) / 20000
+	if mean < 17 || mean > 23 {
+		t.Fatalf("mean gap %.1f, want ~20", mean)
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{Ops: 5})
+	for _, r := range drain(g, 5) {
+		if r.Addr != 0 {
+			t.Fatalf("zero-config address %#x", r.Addr)
+		}
+		if r.Gap != 0 {
+			t.Fatalf("zero-config gap %d", r.Gap)
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := &SliceGenerator{Records: []Record{{Addr: 1}, {Addr: 2}}}
+	b := &SliceGenerator{Records: []Record{{Addr: 10}, {Addr: 20}, {Addr: 30}}}
+	g := &Interleave{Gens: []Generator{a, b}}
+	var addrs []uint64
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, r.Addr)
+	}
+	want := []uint64{1, 10, 2, 20, 30}
+	if len(addrs) != len(want) {
+		t.Fatalf("got %v", addrs)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("interleave order %v, want %v", addrs, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"testing"
+
+	"authmem/internal/ctr"
+	"authmem/internal/trace"
+)
+
+func TestApps(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 11 {
+		t.Fatalf("have %d apps, the paper ran 11", len(apps))
+	}
+	want := map[string]bool{
+		"facesim": true, "dedup": true, "canneal": true, "vips": true,
+		"ferret": true, "fluidanimate": true, "freqmine": true,
+		"raytrace": true, "swaptions": true, "blackscholes": true,
+		"bodytrack": true,
+	}
+	sensitive := 0
+	for _, a := range apps {
+		if !want[a.Name] {
+			t.Errorf("unexpected app %q", a.Name)
+		}
+		delete(want, a.Name)
+		if a.MemorySensitive {
+			sensitive++
+		}
+		if a.MemFrac <= 0 || a.MemFrac >= 1 {
+			t.Errorf("%s: MemFrac %v", a.Name, a.MemFrac)
+		}
+		if a.WB.PerKiloCycle <= 0 {
+			t.Errorf("%s: no writeback rate", a.Name)
+		}
+		var frac float64
+		for _, c := range a.WB.Classes {
+			frac += c.Frac
+			if c.Groups <= 0 {
+				t.Errorf("%s: class with no groups", a.Name)
+			}
+		}
+		if frac > 1 {
+			t.Errorf("%s: class fractions sum to %v", a.Name, frac)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing apps: %v", want)
+	}
+	// Figure 8 plots seven memory-sensitive applications.
+	if sensitive != 7 {
+		t.Errorf("%d memory-sensitive apps, want 7", sensitive)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if a, ok := ByName("canneal"); !ok || a.Name != "canneal" {
+		t.Fatal("ByName(canneal) failed")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Fatal("ByName(doom) should miss")
+	}
+}
+
+func TestTraceGenEmitsRequestedOps(t *testing.T) {
+	app, _ := ByName("facesim")
+	g := app.TraceGen(0, 10000, 7)
+	n := 0
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if r.Addr >= app.FootprintBytes {
+			t.Fatalf("address %#x outside footprint", r.Addr)
+		}
+		n++
+	}
+	if n != 10000 {
+		t.Fatalf("emitted %d ops, want 10000", n)
+	}
+}
+
+func TestTraceGenDeterministicPerCore(t *testing.T) {
+	app, _ := ByName("dedup")
+	drain := func(core int, seed int64) []trace.Record {
+		g := app.TraceGen(core, 500, seed)
+		var out []trace.Record
+		for {
+			r, ok := g.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, r)
+		}
+	}
+	a, b := drain(1, 3), drain(1, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	c := drain(2, 3)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different cores produced identical traces")
+	}
+}
+
+func TestWritebackGenDeterministic(t *testing.T) {
+	app, _ := ByName("canneal")
+	g1, g2 := app.WritebackGen(9), app.WritebackGen(9)
+	for i := 0; i < 10000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("writeback stream not deterministic")
+		}
+	}
+}
+
+func TestWritebackGenStaysInRegion(t *testing.T) {
+	for _, a := range Apps() {
+		g := a.WritebackGen(1)
+		limit := g.Blocks()
+		for i := 0; i < 20000; i++ {
+			if blk := g.Next(); blk >= limit {
+				t.Fatalf("%s: block %d beyond region %d", a.Name, blk, limit)
+			}
+		}
+	}
+}
+
+func TestWritebackClassRegionsDisjoint(t *testing.T) {
+	// FewHot writes must land inside their class's group range: drive a
+	// facesim stream and check sweep region blocks are only written
+	// sequentially (cursor pattern), i.e. hot blocks never alias into the
+	// sweep region.
+	app, _ := ByName("facesim")
+	sweepGroups := app.WB.Classes[0].Groups
+	if app.WB.Classes[0].Dist != Sweep {
+		t.Fatal("facesim class 0 should be the sweep class")
+	}
+	g := app.WritebackGen(2)
+	sweepLimit := uint64(sweepGroups) * ctr.GroupBlocks
+	var lastSweep uint64
+	seen := false
+	for i := 0; i < 100000; i++ {
+		blk := g.Next()
+		if blk < sweepLimit {
+			if seen && blk != (lastSweep+1)%sweepLimit {
+				t.Fatalf("sweep region written out of order: %d after %d", blk, lastSweep)
+			}
+			lastSweep, seen = blk, true
+		}
+	}
+}
+
+// TestFewHotSubgroupPlacement validates the structural property Table 2's
+// dual-length results hinge on.
+func TestFewHotSubgroupPlacement(t *testing.T) {
+	mk := func(k, s int) map[uint64]bool {
+		app := App{WB: WritebackShape{
+			PerKiloCycle: 1,
+			Classes: []GroupClass{
+				{Frac: 1, Groups: 1, Dist: FewHot, HotBlocks: k, Subgroups: s},
+			},
+			BackgroundGroups: 1,
+		}}
+		g := app.WritebackGen(3)
+		blocks := map[uint64]bool{}
+		for i := 0; i < 10000; i++ {
+			blocks[g.Next()] = true
+		}
+		return blocks
+	}
+	// k=2, s=1: both hot blocks in delta-subgroup 0.
+	for blk := range mk(2, 1) {
+		if blk/ctr.DeltasPerGroup != 0 {
+			t.Fatalf("s=1 block %d outside subgroup 0", blk)
+		}
+	}
+	// k=2, s=2: blocks span two subgroups.
+	subs := map[uint64]bool{}
+	for blk := range mk(2, 2) {
+		subs[blk/ctr.DeltasPerGroup] = true
+	}
+	if len(subs) != 2 {
+		t.Fatalf("s=2 spans %d subgroups, want 2", len(subs))
+	}
+}
+
+// TestClassMechanisms verifies each group-behavior class produces its
+// designed scheme-level behaviour (the foundation of the Table 2 mixture).
+func TestClassMechanisms(t *testing.T) {
+	run := func(c GroupClass, kind ctr.Kind, n int) ctr.Stats {
+		c.Frac = 1
+		app := App{WB: WritebackShape{PerKiloCycle: 1,
+			Classes: []GroupClass{c}, BackgroundGroups: 1}}
+		g := app.WritebackGen(4)
+		s, err := ctr.NewScheme(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			s.Touch(g.Next())
+		}
+		return s.Stats()
+	}
+	const n = 2_000_000
+
+	// Sweep: split re-encrypts, delta resets and never does.
+	sweep := GroupClass{Groups: 32, Dist: Sweep}
+	if st := run(sweep, ctr.Split, n); st.Reencryptions == 0 {
+		t.Error("sweep: split should re-encrypt")
+	}
+	if st := run(sweep, ctr.Delta, n); st.Reencryptions != 0 || st.Resets == 0 {
+		t.Errorf("sweep: delta %+v", st)
+	}
+
+	// Balanced: split re-encrypts; delta re-encodes instead (>=20x fewer).
+	bal := GroupClass{Groups: 32, Dist: Balanced}
+	split := run(bal, ctr.Split, n)
+	delta := run(bal, ctr.Delta, n)
+	if split.Reencryptions == 0 {
+		t.Error("balanced: split should re-encrypt")
+	}
+	if delta.Reencodes == 0 {
+		t.Error("balanced: delta should re-encode")
+	}
+	if delta.Reencryptions*5 > split.Reencryptions {
+		t.Errorf("balanced: delta %d vs split %d re-encryptions",
+			delta.Reencryptions, split.Reencryptions)
+	}
+
+	// FewHot k=1: delta degenerates to split; dual-length ~8x fewer.
+	hot := GroupClass{Groups: 8, Dist: FewHot, HotBlocks: 1, Subgroups: 1}
+	hs, hd, hu := run(hot, ctr.Split, n), run(hot, ctr.Delta, n), run(hot, ctr.DualLength, n)
+	if ratio := float64(hs.Reencryptions) / float64(hd.Reencryptions); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("fewhot k1: split/delta ratio %.2f, want ~1", ratio)
+	}
+	if ratio := float64(hd.Reencryptions) / float64(hu.Reencryptions); ratio < 6 || ratio > 10 {
+		t.Errorf("fewhot k1: delta/dual ratio %.2f, want ~8", ratio)
+	}
+
+	// FewHot k=2 spanning 2 subgroups: dual-length is WORSE than delta.
+	spread := GroupClass{Groups: 8, Dist: FewHot, HotBlocks: 2, Subgroups: 2}
+	sd, su := run(spread, ctr.Delta, n), run(spread, ctr.DualLength, n)
+	if su.Reencryptions <= sd.Reencryptions {
+		t.Errorf("fewhot k2s2: dual %d should exceed delta %d",
+			su.Reencryptions, sd.Reencryptions)
+	}
+}
+
+func BenchmarkWritebackGen(b *testing.B) {
+	app, _ := ByName("facesim")
+	g := app.WritebackGen(1)
+	b.ResetTimer()
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= g.Next()
+	}
+	sink = acc
+}
+
+var sink uint64

@@ -1,0 +1,78 @@
+package authmem
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncMemory wraps a Memory with a mutex so it can be shared between
+// goroutines. The underlying hardware being modeled is a single memory
+// controller, so serializing accesses is the honest concurrency semantics —
+// this wrapper provides safety, not parallelism.
+type SyncMemory struct {
+	mu  sync.Mutex
+	mem *Memory
+}
+
+// NewSync builds a thread-safe Memory.
+func NewSync(cfg Config) (*SyncMemory, error) {
+	mem, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncMemory{mem: mem}, nil
+}
+
+// Write encrypts and stores one block. See Memory.Write.
+func (s *SyncMemory) Write(addr uint64, block []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Write(addr, block)
+}
+
+// Read verifies and decrypts one block. See Memory.Read.
+func (s *SyncMemory) Read(addr uint64, dst []byte) (ReadInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Read(addr, dst)
+}
+
+// ReadAt implements io.ReaderAt. See Memory.ReadAt.
+func (s *SyncMemory) ReadAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt. See Memory.WriteAt.
+func (s *SyncMemory) WriteAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.WriteAt(p, off)
+}
+
+// Scrub runs one patrol-scrub pass. See Memory.Scrub.
+func (s *SyncMemory) Scrub() (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Scrub()
+}
+
+// Persist writes the NVMM image. See Memory.Persist.
+func (s *SyncMemory) Persist(w io.Writer) (RootDigest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Persist(w)
+}
+
+// Stats returns engine statistics.
+func (s *SyncMemory) Stats() EngineStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Stats()
+}
+
+// Unwrap returns the underlying Memory for single-threaded phases (attack
+// experiments, counter stats). The caller must ensure no concurrent use
+// while holding it.
+func (s *SyncMemory) Unwrap() *Memory { return s.mem }

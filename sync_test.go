@@ -1,0 +1,92 @@
+package authmem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSyncMemoryConcurrentUse(t *testing.T) {
+	cfg := testConfig(DeltaEncoding, MACInECC)
+	m, err := NewSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 goroutines hammer disjoint regions; every read must return the
+	// goroutine's own last write. Run under -race in CI.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) * 128 * BlockSize
+			buf := make([]byte, BlockSize)
+			dst := make([]byte, BlockSize)
+			for i := 0; i < 200; i++ {
+				addr := base + uint64(i%128)*BlockSize
+				buf[0], buf[1] = byte(g), byte(i)
+				if err := m.Write(addr, buf); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := m.Read(addr, dst); err != nil {
+					errs <- err
+					return
+				}
+				if dst[0] != byte(g) || dst[1] != byte(i) {
+					errs <- fmt.Errorf("goroutine %d: stale read", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Writes != 8*200 || st.Reads != 8*200 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSyncMemoryDelegation(t *testing.T) {
+	cfg := testConfig(DeltaEncoding, MACInECC)
+	m, err := NewSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadAt/WriteAt and Scrub round-trip through the wrapper.
+	data := []byte("synchronized secret")
+	if _, err := m.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := m.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReadAt through wrapper wrong")
+	}
+	if _, err := m.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if _, err := m.Persist(&img); err != nil {
+		t.Fatal(err)
+	}
+	if img.Len() == 0 {
+		t.Fatal("empty image")
+	}
+	if m.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+}
+
+func TestNewSyncBadConfig(t *testing.T) {
+	if _, err := NewSync(Config{}); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
