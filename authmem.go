@@ -228,6 +228,22 @@ func (m *Memory) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	return m.eng.Read(addr, dst)
 }
 
+// WriteBlocks encrypts and stores a span of contiguous blocks starting at
+// the aligned address. Each touched counter block is committed once, after
+// the last write it covers — substantially cheaper than per-block Write for
+// streaming stores. len(src) must be a positive multiple of BlockSize.
+func (m *Memory) WriteBlocks(addr uint64, src []byte) error {
+	return m.eng.WriteBlocks(addr, src)
+}
+
+// ReadBlocks verifies and decrypts a span of contiguous blocks starting at
+// the aligned address into dst, verifying counter metadata once per
+// covering metadata block. len(dst) must be a positive multiple of
+// BlockSize.
+func (m *Memory) ReadBlocks(addr uint64, dst []byte) error {
+	return m.eng.ReadBlocks(addr, dst)
+}
+
 // Stats reports cumulative engine events.
 func (m *Memory) Stats() EngineStats { return m.eng.Stats() }
 
@@ -239,6 +255,13 @@ func (m *Memory) CounterStats() CounterStats { return m.eng.SchemeStats() }
 // per-block parity bit screens for single-bit faults cheaply; flagged
 // blocks are verified and repaired.
 func (m *Memory) Scrub() (ScrubReport, error) { return m.eng.Scrub() }
+
+// ParallelScrub runs a patrol-scrub pass with the read-only parity screen
+// sharded across workers goroutines (GOMAXPROCS when workers <= 0); flagged
+// blocks are then repaired serially. The result is identical to Scrub.
+func (m *Memory) ParallelScrub(workers int) (ScrubReport, error) {
+	return m.eng.ParallelScrub(workers)
+}
 
 // The adversary/fault interface. These touch exactly the state an attacker
 // with physical DRAM access could: ciphertext, ECC bits, MAC tags, counter

@@ -1,0 +1,252 @@
+package main
+
+// -hotpath: tracked hot-path benchmark baseline. Runs the engine's
+// microbenchmarks (crypto primitives plus per-scheme read/write paths) via
+// testing.Benchmark and writes BENCH_hotpath.json, so performance changes
+// are reviewable in diffs like any other result. Entries carry the
+// pre-optimization numbers (recorded at the seed revision of this
+// repository, same shapes, single-core container) where available, and the
+// derived speedup.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"authmem"
+	"authmem/internal/gf64"
+	"authmem/internal/keystream"
+	"authmem/internal/mac"
+)
+
+// hotEntry is one benchmark result in BENCH_hotpath.json.
+type hotEntry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"alloc_bytes_per_op"`
+	BaselineNs   float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllo int64   `json:"baseline_allocs_per_op,omitempty"`
+	Speedup      float64 `json:"speedup_x,omitempty"`
+}
+
+type hotReport struct {
+	Note       string     `json:"note"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Entries    []hotEntry `json:"entries"`
+}
+
+// seedBaselines holds ns/op and allocs/op measured at the seed revision of
+// this repository (pre table-driven GF(2^64), pre T-table AES, pre arena),
+// same benchmark shapes, same container. Zero means "not recorded then".
+var seedBaselines = map[string]struct {
+	ns     float64
+	allocs int64
+}{
+	"gf64.Mul":                  {101.4, 0},
+	"gf64.Horner8":              {789.5, 0},
+	"mac.Tag":                   {1989, 2},
+	"keystream.XOR":             {4597, 2},
+	"memory.Write/delta-macecc": {10098, 8},
+	"memory.Read/delta-macecc":  {8799, 6},
+}
+
+func runHotpath(outPath string) {
+	fmt.Println("=== Hot path: tracked microbenchmark baseline ===")
+	rep := hotReport{
+		Note: "Baseline columns were measured at the seed revision (before the " +
+			"table-driven GF(2^64) MAC, T-table AES, keystream batching, and the " +
+			"flat block arena) with identical benchmark shapes on the same machine.",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, r testing.BenchmarkResult) {
+		e := hotEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if base, ok := seedBaselines[name]; ok {
+			e.BaselineNs = base.ns
+			e.BaselineAllo = base.allocs
+			if e.NsPerOp > 0 {
+				e.Speedup = base.ns / e.NsPerOp
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+		if e.Speedup > 0 {
+			fmt.Printf("  %-28s %10.1f ns/op  %2d allocs/op  (%5.1fx vs seed)\n",
+				name, e.NsPerOp, e.AllocsPerOp, e.Speedup)
+		} else {
+			fmt.Printf("  %-28s %10.1f ns/op  %2d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+		}
+	}
+
+	add("gf64.Mul", testing.Benchmark(func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc = gf64.Mul(acc^0x0123456789ABCDEF, 0xFEDCBA9876543210)
+		}
+		sinkU64 = acc
+	}))
+	tbl := gf64.NewTable(0x0123456789ABCDEF)
+	add("gf64.MulTable", testing.Benchmark(func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc = tbl.Mul(acc ^ 0xFEDCBA9876543210)
+		}
+		sinkU64 = acc
+	}))
+	msg := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(msg)
+	words := make([]uint64, 8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(msg[i*8:])
+	}
+	add("gf64.Horner8", testing.Benchmark(func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc ^= gf64.Horner(0x0123456789ABCDEF, words)
+		}
+		sinkU64 = acc
+	}))
+
+	key := benchKeyMaterial()
+	mk, err := mac.NewKey(key[:24])
+	if err != nil {
+		fatal(err)
+	}
+	add("mac.Tag", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			tag, err := mk.Tag(msg, 0x1000, uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc ^= tag
+		}
+		sinkU64 = acc
+	}))
+
+	ks, err := keystream.New(key[24:40])
+	if err != nil {
+		fatal(err)
+	}
+	buf := make([]byte, keystream.BlockSize)
+	add("keystream.XOR", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ks.XOR(buf, buf, 0x2000, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	group := make([]byte, 64*keystream.BlockSize)
+	add("keystream.XORBlocks64", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ks.XORBlocks(group, group, 0, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	points := []struct {
+		name      string
+		scheme    authmem.CounterScheme
+		placement authmem.MACPlacement
+	}{
+		{"mono-inline", authmem.Monolithic, authmem.InlineMAC},
+		{"mono-macecc", authmem.Monolithic, authmem.MACInECC},
+		{"split-macecc", authmem.SplitCounter, authmem.MACInECC},
+		{"delta-inline", authmem.DeltaEncoding, authmem.InlineMAC},
+		{"delta-macecc", authmem.DeltaEncoding, authmem.MACInECC},
+		{"dual-macecc", authmem.DualLengthDelta, authmem.MACInECC},
+	}
+	for _, p := range points {
+		newMem := func() *authmem.Memory {
+			cfg := authmem.DefaultConfig(1 << 20)
+			cfg.Scheme = p.scheme
+			cfg.Placement = p.placement
+			cfg.Key = key
+			m, err := authmem.New(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			return m
+		}
+		const blocks = 1024
+		add("memory.Write/"+p.name, testing.Benchmark(func(b *testing.B) {
+			m := newMem()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Write(uint64(i%blocks)*authmem.BlockSize, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		add("memory.Read/"+p.name, testing.Benchmark(func(b *testing.B) {
+			m := newMem()
+			for i := 0; i < blocks; i++ {
+				if err := m.Write(uint64(i)*authmem.BlockSize, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dst := make([]byte, authmem.BlockSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Read(uint64(i%blocks)*authmem.BlockSize, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		span := make([]byte, 64*authmem.BlockSize)
+		rand.New(rand.NewSource(6)).Read(span)
+		add("memory.WriteBlocks/"+p.name, testing.Benchmark(func(b *testing.B) {
+			m := newMem()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(span)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				addr := uint64(i%16) * uint64(len(span))
+				if err := m.WriteBlocks(addr, span); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// sinkU64 defeats dead-code elimination in the primitive loops.
+var sinkU64 uint64
+
+func benchKeyMaterial() []byte {
+	k := make([]byte, authmem.KeySize)
+	for i := range k {
+		k[i] = byte(i + 1)
+	}
+	return k
+}

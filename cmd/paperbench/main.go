@@ -32,6 +32,8 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "reproduce Figure 3 (fault handling)")
 	fig8 := flag.Bool("fig8", false, "reproduce Figure 8 (IPC impact)")
 	table2 := flag.Bool("table2", false, "reproduce Table 2 (re-encryption rate)")
+	hotpath := flag.Bool("hotpath", false, "run hot-path microbenchmarks and write the tracked JSON baseline")
+	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -hotpath")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
 	writebacks := flag.Uint64("writebacks", 16_000_000, "Table 2: writeback stream length")
@@ -42,13 +44,16 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2 = true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath = true, true, true, true, true
+	}
+	if *hotpath {
+		runHotpath(*hotpathOut)
 	}
 	if *fig1 {
 		runFig1()

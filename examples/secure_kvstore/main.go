@@ -78,9 +78,7 @@ func (s *Store) Put(key, value string) error {
 		binary.LittleEndian.PutUint16(block[0:2], uint16(len(key)))
 		copy(block[2:16], key)
 		binary.LittleEndian.PutUint16(block[16:18], uint16(len(value)))
-		for i := range block[18:] {
-			block[18+i] = 0
-		}
+		clear(block[18:])
 		copy(block[18:], value)
 		return s.mem.Write(slot*authmem.BlockSize, block[:])
 	}

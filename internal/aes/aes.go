@@ -29,6 +29,14 @@ var sbox [256]byte
 // rcon holds the key-schedule round constants.
 var rcon [11]byte
 
+// te0..te3 are the combined SubBytes+ShiftRows+MixColumns round tables
+// ("T-tables"), derived from sbox at init. te0[x] packs the MixColumns
+// column (2s, s, s, 3s) of s = sbox[x] big-endian; te1..te3 are byte
+// rotations of te0, one per state row. A full round is then four table
+// lookups and three XORs per column instead of byte-wise SubBytes,
+// ShiftRows, and MixColumns passes.
+var te0, te1, te2, te3 [256]uint32
+
 func init() {
 	// GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
 	mul := func(a, b byte) byte {
@@ -67,6 +75,17 @@ func init() {
 	for i := 1; i < len(rcon); i++ {
 		rcon[i] = c
 		c = mul(c, 2)
+	}
+	// Round tables from the derived S-box.
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
 	}
 }
 
@@ -132,7 +151,46 @@ func xtime(b byte) byte {
 
 // Encrypt implements cipher.Block: dst = AES(src). dst and src must be 16
 // bytes and may alias.
+//
+// The rounds run on four big-endian column words through the T-tables; the
+// byte-wise round primitives survive in encryptReference, which tests hold
+// equal to this path (and both to crypto/aes).
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	rk := c.rk
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ rk[0][0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ rk[0][1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ rk[0][2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ rk[0][3]
+	for r := 1; r < c.rounds; r++ {
+		k := &rk[r]
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xFF] ^ te2[s2>>8&0xFF] ^ te3[s3&0xFF] ^ k[0]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xFF] ^ te2[s3>>8&0xFF] ^ te3[s0&0xFF] ^ k[1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xFF] ^ te2[s0>>8&0xFF] ^ te3[s1&0xFF] ^ k[2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xFF] ^ te2[s1>>8&0xFF] ^ te3[s2&0xFF] ^ k[3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	k := &rk[c.rounds]
+	t0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xFF])<<16 |
+		uint32(sbox[s2>>8&0xFF])<<8 | uint32(sbox[s3&0xFF])
+	t1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xFF])<<16 |
+		uint32(sbox[s3>>8&0xFF])<<8 | uint32(sbox[s0&0xFF])
+	t2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xFF])<<16 |
+		uint32(sbox[s0>>8&0xFF])<<8 | uint32(sbox[s1&0xFF])
+	t3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xFF])<<16 |
+		uint32(sbox[s1>>8&0xFF])<<8 | uint32(sbox[s2&0xFF])
+	binary.BigEndian.PutUint32(dst[0:4], t0^k[0])
+	binary.BigEndian.PutUint32(dst[4:8], t1^k[1])
+	binary.BigEndian.PutUint32(dst[8:12], t2^k[2])
+	binary.BigEndian.PutUint32(dst[12:16], t3^k[3])
+}
+
+// encryptReference is the byte-wise FIPS-197 round sequence the T-table
+// path was derived from; tests pin Encrypt against it.
+func (c *Cipher) encryptReference(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: short block")
 	}

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"authmem/internal/macecc"
 	"authmem/internal/tree"
@@ -22,8 +25,8 @@ func (e *Engine) TamperCiphertext(addr uint64, bit int) error {
 	if bit < 0 || bit >= BlockBytes*8 {
 		return fmt.Errorf("core: bit %d out of range", bit)
 	}
-	ct, ok := e.data[blk]
-	if !ok {
+	ct := e.store.Ciphertext(blk)
+	if ct == nil {
 		return fmt.Errorf("core: block %#x not resident", addr)
 	}
 	ct[bit/8] ^= 1 << uint(bit%8)
@@ -40,11 +43,11 @@ func (e *Engine) TamperECCLane(addr uint64, bit int) error {
 	if e.cfg.Placement != MACInECC {
 		return fmt.Errorf("core: ECC lane only exists under MACInECC")
 	}
-	meta, ok := e.eccMeta[blk]
-	if !ok {
+	if !e.store.Present(blk) {
 		return fmt.Errorf("core: block %#x not resident", addr)
 	}
-	e.eccMeta[blk] = meta.Flip(bit)
+	meta := macecc.Meta(e.store.Meta(blk))
+	e.store.SetMeta(blk, uint64(meta.Flip(bit)))
 	return nil
 }
 
@@ -61,10 +64,10 @@ func (e *Engine) TamperInlineTag(addr uint64, bit int) error {
 	if bit < 0 || bit >= 64 {
 		return fmt.Errorf("core: bit %d out of range", bit)
 	}
-	if _, ok := e.inlineTag[blk]; !ok {
+	if !e.store.Present(blk) {
 		return fmt.Errorf("core: block %#x not resident", addr)
 	}
-	e.inlineTag[blk] ^= 1 << uint(bit)
+	e.store.SetMeta(blk, e.store.Meta(blk)^1<<uint(bit))
 	return nil
 }
 
@@ -80,11 +83,7 @@ func (e *Engine) TamperCounterBlock(midx uint64, bit int) error {
 	if bit < 0 || bit >= BlockBytes*8 {
 		return fmt.Errorf("core: bit %d out of range", bit)
 	}
-	img, ok := e.metaImages[midx]
-	if !ok {
-		img = new([BlockBytes]byte)
-		e.metaImages[midx] = img
-	}
+	img := e.images.Store(midx)
 	img[bit/8] ^= 1 << uint(bit%8)
 	return nil
 }
@@ -103,8 +102,7 @@ type BlockSnapshot struct {
 	addr       uint64
 	hasData    bool
 	ciphertext [BlockBytes]byte
-	eccMeta    macecc.Meta
-	inlineTag  uint64
+	meta       uint64 // ECC-lane image or inline tag
 	dataCheck  [8]uint8
 	counterImg [BlockBytes]byte
 }
@@ -117,16 +115,15 @@ func (e *Engine) Snapshot(addr uint64) (BlockSnapshot, error) {
 		return s, err
 	}
 	s.addr = addr
-	if ct, ok := e.data[blk]; ok {
+	if ct := e.store.Ciphertext(blk); ct != nil {
 		s.hasData = true
-		s.ciphertext = *ct
-		s.eccMeta = e.eccMeta[blk]
-		s.inlineTag = e.inlineTag[blk]
-		if c := e.dataCheck[blk]; c != nil {
-			s.dataCheck = *c
+		copy(s.ciphertext[:], ct)
+		s.meta = e.store.Meta(blk)
+		if e.cfg.Placement == MACInline {
+			copy(s.dataCheck[:], e.store.Check(blk))
 		}
 	}
-	s.counterImg = *e.metaImage(e.scheme.MetadataBlock(blk))
+	copy(s.counterImg[:], e.images.Load(e.scheme.MetadataBlock(blk)))
 	return s, nil
 }
 
@@ -149,17 +146,7 @@ func (e *Engine) Splice(s BlockSnapshot, addr uint64) error {
 	if !s.hasData {
 		return fmt.Errorf("core: snapshot holds no data to splice")
 	}
-	ct := new([BlockBytes]byte)
-	*ct = s.ciphertext
-	e.data[blk] = ct
-	if e.cfg.Placement == MACInECC {
-		e.eccMeta[blk] = s.eccMeta
-	} else {
-		e.inlineTag[blk] = s.inlineTag
-		check := new([8]uint8)
-		*check = s.dataCheck
-		e.dataCheck[blk] = check
-	}
+	e.plantSnapshot(blk, &s)
 	return nil
 }
 
@@ -169,22 +156,19 @@ func (e *Engine) replayAt(s BlockSnapshot, addr uint64) error {
 		return err
 	}
 	if s.hasData {
-		ct := new([BlockBytes]byte)
-		*ct = s.ciphertext
-		e.data[blk] = ct
-		if e.cfg.Placement == MACInECC {
-			e.eccMeta[blk] = s.eccMeta
-		} else {
-			e.inlineTag[blk] = s.inlineTag
-			check := new([8]uint8)
-			*check = s.dataCheck
-			e.dataCheck[blk] = check
-		}
+		e.plantSnapshot(blk, &s)
 	}
-	img := new([BlockBytes]byte)
-	*img = s.counterImg
-	e.metaImages[e.scheme.MetadataBlock(blk)] = img
+	copy(e.images.Store(e.scheme.MetadataBlock(blk)), s.counterImg[:])
 	return nil
+}
+
+// plantSnapshot writes a snapshot's data and MAC bits into blk's DRAM.
+func (e *Engine) plantSnapshot(blk uint64, s *BlockSnapshot) {
+	copy(e.store.Materialize(blk), s.ciphertext[:])
+	e.store.SetMeta(blk, s.meta)
+	if e.cfg.Placement == MACInline {
+		copy(e.store.Check(blk), s.dataCheck[:])
+	}
 }
 
 func (e *Engine) attackBlock(addr uint64) (uint64, error) {
@@ -216,33 +200,101 @@ type ScrubReport struct {
 // faults are invisible to the parity screen — by design; the next demand
 // read still catches them.
 func (e *Engine) Scrub() (ScrubReport, error) {
-	var r ScrubReport
-	if e.cfg.DisableEncryption || e.cfg.Placement != MACInECC {
-		return r, fmt.Errorf("core: scrubbing requires MACInECC")
+	if err := e.checkScrubbable(); err != nil {
+		return ScrubReport{}, err
 	}
 	e.stats.ScrubPasses++
-	for blk, ct := range e.data {
+	var r ScrubReport
+	var flagged []uint64
+	e.store.forEach(func(blk uint64, ct []byte, meta *uint64, _ []byte) {
 		r.BlocksScanned++
-		meta := e.eccMeta[blk]
-		// Two one-XOR-tree screens (§3.3): data parity and the MAC
-		// codeword's own parity.
-		if macecc.Scrub(ct[:], meta) && macecc.ScrubMeta(meta) {
-			continue
+		m := macecc.Meta(*meta)
+		if macecc.Scrub(ct, m) && macecc.ScrubMeta(m) {
+			return
 		}
+		flagged = append(flagged, blk)
+	})
+	err := e.correctFlagged(flagged, &r)
+	return r, err
+}
+
+// ParallelScrub runs the same patrol-scrub pass with the parity screen
+// sharded across workers (GOMAXPROCS when workers <= 0). The screen phase
+// only reads ciphertext and metadata — the arena is not mutated — so the
+// shards race with nothing. Flagged blocks are then corrected serially,
+// exactly as Scrub does, since correction writes repaired bits back.
+func (e *Engine) ParallelScrub(workers int) (ScrubReport, error) {
+	if err := e.checkScrubbable(); err != nil {
+		return ScrubReport{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunks := e.store.chunkCount(); workers > chunks && chunks > 0 {
+		workers = chunks
+	}
+	e.stats.ScrubPasses++
+
+	scanned := make([]int, workers)
+	flaggedBy := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < e.store.chunkCount(); ci += workers {
+				e.store.forEachInChunk(ci, func(blk uint64, ct []byte, meta *uint64) {
+					scanned[w]++
+					m := macecc.Meta(*meta)
+					if macecc.Scrub(ct, m) && macecc.ScrubMeta(m) {
+						return
+					}
+					flaggedBy[w] = append(flaggedBy[w], blk)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var r ScrubReport
+	var flagged []uint64
+	for w := 0; w < workers; w++ {
+		r.BlocksScanned += scanned[w]
+		flagged = append(flagged, flaggedBy[w]...)
+	}
+	// Deterministic correction order regardless of worker interleaving.
+	sort.Slice(flagged, func(i, j int) bool { return flagged[i] < flagged[j] })
+	err := e.correctFlagged(flagged, &r)
+	return r, err
+}
+
+func (e *Engine) checkScrubbable() error {
+	if e.cfg.DisableEncryption || e.cfg.Placement != MACInECC {
+		return fmt.Errorf("core: scrubbing requires MACInECC")
+	}
+	return nil
+}
+
+// correctFlagged runs the full flip-and-check correction on each
+// parity-flagged block, writing repaired bits back into the arena.
+func (e *Engine) correctFlagged(flagged []uint64, r *ScrubReport) error {
+	for _, blk := range flagged {
 		r.ParityFlagged++
 		e.stats.ScrubFlagged++
 		midx := e.scheme.MetadataBlock(blk)
-		counter, err := e.decodeCounter(e.metaImage(midx), blk)
+		counter, err := e.decodeCounter(e.images.Load(midx), blk)
 		if err != nil {
 			r.Uncorrectable++
 			continue
 		}
-		out, err := e.ver.VerifyAndCorrect(ct[:], &meta, blk*BlockBytes, counter)
+		ct := e.store.Ciphertext(blk)
+		meta := macecc.Meta(e.store.Meta(blk))
+		out, err := e.ver.VerifyAndCorrect(ct, &meta, blk*BlockBytes, counter)
 		if err != nil {
-			return r, err
+			return err
 		}
 		if out.Status == macecc.OK {
-			e.eccMeta[blk] = meta
+			e.store.SetMeta(blk, uint64(meta))
 			if out.CorrectedDataBits > 0 || out.CorrectedMACBits > 0 {
 				r.Corrected++
 			}
@@ -250,5 +302,5 @@ func (e *Engine) Scrub() (ScrubReport, error) {
 			r.Uncorrectable++
 		}
 	}
-	return r, nil
+	return nil
 }

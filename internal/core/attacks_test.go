@@ -24,11 +24,11 @@ func TestConfidentialityNoTwoTimePad(t *testing.T) {
 	if err := e.Write(0, pt); err != nil {
 		t.Fatal(err)
 	}
-	first := *e.data[0]
+	first := *(*[BlockBytes]byte)(e.store.Ciphertext(0))
 	if err := e.Write(0, pt); err != nil {
 		t.Fatal(err)
 	}
-	second := *e.data[0]
+	second := *(*[BlockBytes]byte)(e.store.Ciphertext(0))
 	if first == second {
 		t.Fatal("same ciphertext for two writes of one plaintext (pad reuse)")
 	}
@@ -36,7 +36,7 @@ func TestConfidentialityNoTwoTimePad(t *testing.T) {
 	if err := e.Write(64, pt); err != nil {
 		t.Fatal(err)
 	}
-	other := *e.data[1]
+	other := *(*[BlockBytes]byte)(e.store.Ciphertext(1))
 	if other == second {
 		t.Fatal("same ciphertext at two addresses (address not in the pad)")
 	}
@@ -65,7 +65,7 @@ func TestConfidentialityCiphertextUnbiased(t *testing.T) {
 		if err := e.Write(i*BlockBytes, zero); err != nil {
 			t.Fatal(err)
 		}
-		ct := e.data[i]
+		ct := e.store.Ciphertext(i)
 		for _, b := range ct {
 			for bit := 0; bit < 8; bit++ {
 				if b>>uint(bit)&1 == 1 {
@@ -92,13 +92,13 @@ func TestSpoofingRejected(t *testing.T) {
 		}
 		rng := rand.New(rand.NewSource(44))
 		// Chosen ciphertext...
-		forged := e.data[0]
-		rng.Read(forged[:])
+		forged := e.store.Ciphertext(0)
+		rng.Read(forged)
 		// ...with a random tag guess.
 		if placement == MACInECC {
-			e.eccMeta[0] = e.eccMeta[0] ^ 0xDEADBEEF
+			e.store.SetMeta(0, e.store.Meta(0)^0xDEADBEEF)
 		} else {
-			e.inlineTag[0] ^= 0xDEADBEEF
+			e.store.SetMeta(0, e.store.Meta(0)^0xDEADBEEF)
 		}
 		dst := make([]byte, BlockBytes)
 		var ie *IntegrityError

@@ -11,6 +11,11 @@ import (
 	"authmem/internal/tree"
 )
 
+// padCacheEntries sizes the engine's keystream pad cache (64B per entry).
+// One group re-encryption touches ctr.GroupBlocks pads; 1024 entries keep
+// several recent groups plus ordinary read/write reuse resident.
+const padCacheEntries = 1024
+
 // Engine is a functional authenticated encrypted memory.
 //
 // The "DRAM contents" an attacker can touch are: ciphertext blocks, their
@@ -32,11 +37,16 @@ type Engine struct {
 	key    *mac.Key
 	ver    *macecc.Verifier
 
-	data       map[uint64]*[BlockBytes]byte // ciphertext per block index
-	eccMeta    map[uint64]macecc.Meta       // MAC-in-ECC lane bits
-	inlineTag  map[uint64]uint64            // baseline MAC tags
-	dataCheck  map[uint64]*[8]uint8         // baseline SEC-DED bytes
-	metaImages map[uint64]*[BlockBytes]byte // counter-block storage
+	// store holds ciphertext plus the per-block metadata lane (ECC-lane
+	// image under MACInECC, MAC tag under MACInline) and SEC-DED bytes;
+	// images holds counter-block images. Both are chunked flat arenas
+	// indexed by block number — see blockstore.go.
+	store  *blockStore
+	images *imageStore
+
+	// groupBuf is the reusable plaintext staging buffer for group
+	// re-encryption sweeps.
+	groupBuf []byte
 
 	// pendingWrite is the block index currently being written, so the
 	// re-encryption hook does not emit a stale ciphertext for it under
@@ -76,14 +86,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:        cfg,
-		data:       make(map[uint64]*[BlockBytes]byte),
-		eccMeta:    make(map[uint64]macecc.Meta),
-		inlineTag:  make(map[uint64]uint64),
-		dataCheck:  make(map[uint64]*[8]uint8),
-		metaImages: make(map[uint64]*[BlockBytes]byte),
-	}
+	e := &Engine{cfg: cfg}
+	e.store = newBlockStore(cfg.DataBlocks(), cfg.Placement == MACInline && !cfg.DisableEncryption)
 	if cfg.DisableEncryption {
 		return e, nil
 	}
@@ -107,6 +111,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The engine serializes all cipher accesses, so the (non-concurrent)
+	// pad cache is safe to enable here.
+	if err := e.ks.EnablePadCache(padCacheEntries); err != nil {
+		return nil, err
+	}
 	if cfg.Placement == MACInECC {
 		e.ver, err = macecc.NewVerifier(e.key, cfg.CorrectBits)
 		if err != nil {
@@ -128,6 +137,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := e.tr.Rebuild(func(uint64) []byte { return zero }); err != nil {
 		return nil, err
 	}
+	e.images = newImageStore(e.tr.Leaves())
 
 	scheme.OnReencrypt(e.reencryptGroup)
 	return e, nil
@@ -151,6 +161,14 @@ func (e *Engine) SchemeStats() ctr.Stats {
 // Tree exposes the integrity tree for attack experiments.
 func (e *Engine) Tree() *tree.Tree { return e.tr }
 
+// PadCacheStats reports the keystream pad cache's hit/miss counts.
+func (e *Engine) PadCacheStats() keystream.CacheStats {
+	if e.ks == nil {
+		return keystream.CacheStats{}
+	}
+	return e.ks.CacheStats()
+}
+
 func (e *Engine) checkAddr(addr uint64) error {
 	if addr%BlockBytes != 0 {
 		return fmt.Errorf("core: address %#x not %d-byte aligned", addr, BlockBytes)
@@ -173,9 +191,7 @@ func (e *Engine) Write(addr uint64, plaintext []byte) error {
 	e.stats.Writes++
 
 	if e.cfg.DisableEncryption {
-		var buf [BlockBytes]byte
-		copy(buf[:], plaintext)
-		e.data[blk] = &buf
+		copy(e.store.Materialize(blk), plaintext)
 		return nil
 	}
 
@@ -189,32 +205,37 @@ func (e *Engine) Write(addr uint64, plaintext []byte) error {
 	return e.commitMetadata(e.scheme.MetadataBlock(blk))
 }
 
-// storeBlock encrypts plaintext under counter and installs ciphertext + MAC
-// (and, in baseline mode, SEC-DED bytes). Under the classic data-tree
-// design it also refreshes the block's tree leaf.
+// storeBlock encrypts plaintext under counter directly into the block's
+// arena slot and seals it (MAC, ECC bytes, data-tree leaf).
 func (e *Engine) storeBlock(blk uint64, plaintext []byte, counter uint64) error {
-	addr := blk * BlockBytes
-	buf := new([BlockBytes]byte)
-	if err := e.ks.XOR(buf[:], plaintext, addr, counter); err != nil {
+	ct := e.store.Materialize(blk)
+	if err := e.ks.XOR(ct, plaintext, blk*BlockBytes, counter); err != nil {
 		return err
 	}
-	tag, err := e.key.Tag(buf[:], addr, counter)
+	return e.sealBlock(blk, ct, counter)
+}
+
+// sealBlock installs the MAC (and, in baseline mode, SEC-DED bytes) for the
+// already-encrypted arena slice ct of block blk. Under the classic
+// data-tree design it also refreshes the block's tree leaf.
+func (e *Engine) sealBlock(blk uint64, ct []byte, counter uint64) error {
+	addr := blk * BlockBytes
+	tag, err := e.key.Tag(ct, addr, counter)
 	if err != nil {
 		return err
 	}
-	e.data[blk] = buf
 	if e.cfg.Placement == MACInECC {
-		e.eccMeta[blk] = macecc.PackMeta(tag, buf[:])
+		e.store.SetMeta(blk, uint64(macecc.PackMeta(tag, ct)))
 	} else {
-		e.inlineTag[blk] = tag
-		check, err := ecc.EncodeBlock(buf[:])
+		e.store.SetMeta(blk, tag)
+		check, err := ecc.EncodeBlock(ct)
 		if err != nil {
 			return err
 		}
-		e.dataCheck[blk] = &check
+		copy(e.store.Check(blk), check[:])
 	}
 	if e.cfg.DataTree {
-		if _, err := e.tr.UpdateLeaf(blk, buf[:]); err != nil {
+		if err := e.tr.UpdateLeafFast(blk, ct); err != nil {
 			return err
 		}
 	}
@@ -235,33 +256,52 @@ func (e *Engine) metaLeaf(midx uint64) uint64 {
 // above it.
 func (e *Engine) commitMetadata(midx uint64) error {
 	img := e.packer.PackMetadata(midx)
-	stored := new([BlockBytes]byte)
-	copy(stored[:], img[:])
-	e.metaImages[midx] = stored
-	_, err := e.tr.UpdateLeaf(e.metaLeaf(midx), img[:])
-	return err
+	copy(e.images.Store(midx), img[:])
+	return e.tr.UpdateLeafFast(e.metaLeaf(midx), img[:])
 }
 
 // reencryptGroup is the scheme's re-encryption hook: decrypt every block of
-// the group under its old counter and re-encrypt under the shared new one.
+// the group under its old counter, re-pad the whole group under the shared
+// new counter in one batched XORBlocks sweep, and reinstall the results.
 func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCounter uint64) {
-	for j, oldCtr := range oldCounters {
+	n := len(oldCounters)
+	if rem := e.cfg.DataBlocks() - groupStart; uint64(n) > rem {
+		n = int(rem)
+	}
+	if e.groupBuf == nil {
+		e.groupBuf = make([]byte, ctr.GroupBlocks*BlockBytes)
+	}
+	buf := e.groupBuf[:n*BlockBytes]
+
+	// Recover each block's plaintext under its old counter. Never-written
+	// blocks materialize as zeros; the in-flight write's slot is staged as
+	// zeros too but skipped at install time (its fresh data follows).
+	for j := 0; j < n; j++ {
 		blk := groupStart + uint64(j)
-		if blk >= e.cfg.DataBlocks() {
-			break
+		pt := buf[j*BlockBytes : (j+1)*BlockBytes]
+		ct := e.store.Ciphertext(blk)
+		if ct == nil || (e.hasPendingWrite && blk == e.pendingWrite) {
+			clear(pt)
+			continue
 		}
+		if err := e.ks.XOR(pt, ct, blk*BlockBytes, oldCounters[j]); err != nil {
+			panic(err) // sizes are fixed; cannot fail
+		}
+	}
+
+	// One batched pad sweep re-encrypts the whole group in place.
+	if err := e.ks.XORBlocks(buf, buf, groupStart*BlockBytes, newCounter); err != nil {
+		panic(err)
+	}
+
+	for j := 0; j < n; j++ {
+		blk := groupStart + uint64(j)
 		if e.hasPendingWrite && blk == e.pendingWrite {
 			continue // the in-flight write supplies fresh data
 		}
-		var pt [BlockBytes]byte
-		if ct, ok := e.data[blk]; ok {
-			addr := blk * BlockBytes
-			if err := e.ks.XOR(pt[:], ct[:], addr, oldCtr); err != nil {
-				panic(err) // sizes are fixed; cannot fail
-			}
-		}
-		// Never-written blocks materialize as encrypted zeros.
-		if err := e.storeBlock(blk, pt[:], newCounter); err != nil {
+		ct := e.store.Materialize(blk)
+		copy(ct, buf[j*BlockBytes:(j+1)*BlockBytes])
+		if err := e.sealBlock(blk, ct, newCounter); err != nil {
 			panic(err)
 		}
 	}
@@ -283,10 +323,10 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	e.stats.Reads++
 
 	if e.cfg.DisableEncryption {
-		if ct, ok := e.data[blk]; ok {
-			copy(dst, ct[:])
+		if ct := e.store.Ciphertext(blk); ct != nil {
+			copy(dst, ct)
 		} else {
-			zeroFill(dst)
+			clear(dst)
 			info.Fresh = true
 		}
 		return info, nil
@@ -294,8 +334,8 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 
 	// Fetch and freshness-check the counter.
 	midx := e.scheme.MetadataBlock(blk)
-	img := e.metaImage(midx)
-	if _, err := e.tr.VerifyLeaf(e.metaLeaf(midx), img[:]); err != nil {
+	img := e.images.Load(midx)
+	if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
 		e.stats.IntegrityFailures++
 		return info, &IntegrityError{Addr: addr, Reason: "counter metadata failed integrity tree check: " + err.Error()}
 	}
@@ -304,14 +344,23 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 		e.stats.IntegrityFailures++
 		return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error()}
 	}
+	return e.readVerified(blk, counter, dst)
+}
 
-	ct, ok := e.data[blk]
-	if !ok {
+// readVerified finishes a read whose counter has already been fetched and
+// tree-verified: it authenticates the ciphertext (repairing correctable
+// faults in place) and decrypts into dst.
+func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error) {
+	var info ReadInfo
+	addr := blk * BlockBytes
+
+	ct := e.store.Ciphertext(blk)
+	if ct == nil {
 		if counter != 0 {
 			e.stats.IntegrityFailures++
 			return info, &IntegrityError{Addr: addr, Reason: "counter advanced but block missing"}
 		}
-		zeroFill(dst)
+		clear(dst)
 		info.Fresh = true
 		e.stats.FreshReads++
 		return info, nil
@@ -319,8 +368,8 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 
 	switch e.cfg.Placement {
 	case MACInECC:
-		meta := e.eccMeta[blk]
-		out, err := e.ver.VerifyAndCorrect(ct[:], &meta, addr, counter)
+		meta := macecc.Meta(e.store.Meta(blk))
+		out, err := e.ver.VerifyAndCorrect(ct, &meta, addr, counter)
 		if err != nil {
 			return info, err
 		}
@@ -333,14 +382,10 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 		info.CorrectedMACBits = out.CorrectedMACBits
 		e.stats.CorrectedDataBits += uint64(out.CorrectedDataBits)
 		e.stats.CorrectedMACBits += uint64(out.CorrectedMACBits)
-		e.eccMeta[blk] = meta // corrected bits written back
+		e.store.SetMeta(blk, uint64(meta)) // corrected bits written back
 
 	default: // MACInline baseline: SEC-DED first, then the MAC.
-		check := e.dataCheck[blk]
-		if check == nil {
-			check = new([8]uint8)
-		}
-		outcome, err := ecc.DecodeBlock(ct[:], check)
+		outcome, err := ecc.DecodeBlock(ct, (*[8]uint8)(e.store.Check(blk)))
 		if err != nil {
 			return info, err
 		}
@@ -350,7 +395,7 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 		}
 		info.CorrectedDataBits = outcome.CorrectedBits
 		e.stats.SECDEDCorrected += uint64(outcome.CorrectedBits)
-		okTag, err := e.key.Verify(ct[:], addr, counter, e.inlineTag[blk])
+		okTag, err := e.key.Verify(ct, addr, counter, e.store.Meta(blk))
 		if err != nil {
 			return info, err
 		}
@@ -364,47 +409,35 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	// must also verify against its tree leaf — this is the per-access
 	// tree walk BMTs exist to avoid.
 	if e.cfg.DataTree {
-		if _, err := e.tr.VerifyLeaf(blk, ct[:]); err != nil {
+		if err := e.tr.VerifyLeafFast(blk, ct); err != nil {
 			e.stats.IntegrityFailures++
 			return info, &IntegrityError{Addr: addr, Reason: "data block failed integrity tree check: " + err.Error()}
 		}
 	}
 
-	if err := e.ks.XOR(dst, ct[:], addr, counter); err != nil {
+	if err := e.ks.XOR(dst, ct, addr, counter); err != nil {
 		return info, err
 	}
 	return info, nil
 }
 
-func (e *Engine) metaImage(midx uint64) *[BlockBytes]byte {
-	if img, ok := e.metaImages[midx]; ok {
-		return img
-	}
-	return new([BlockBytes]byte)
-}
-
 // decodeCounter extracts a block's counter from the stored (attacker-
 // reachable) metadata image, using the scheme's hardware decode path.
-func (e *Engine) decodeCounter(img *[BlockBytes]byte, blk uint64) (uint64, error) {
+func (e *Engine) decodeCounter(img []byte, blk uint64) (uint64, error) {
+	image := *(*[BlockBytes]byte)(img)
 	slot := int(blk % uint64(e.scheme.GroupSize()))
 	switch e.cfg.Scheme {
 	case ctr.Monolithic:
-		counters := ctr.UnpackMonolithic(*img)
+		counters := ctr.UnpackMonolithic(image)
 		return counters[blk%ctr.CountersPerMetadataBlock], nil
 	case ctr.Split:
-		major, minors := ctr.UnpackSplit(*img)
+		major, minors := ctr.UnpackSplit(image)
 		return major<<ctr.MinorBits | uint64(minors[slot]), nil
 	case ctr.Delta:
-		return ctr.DecodeCounter(*img, slot)
+		return ctr.DecodeCounter(image, slot)
 	case ctr.DualLength:
-		return ctr.DecodeDualCounter(*img, slot)
+		return ctr.DecodeDualCounter(image, slot)
 	default:
 		return 0, fmt.Errorf("core: unknown scheme kind")
-	}
-}
-
-func zeroFill(b []byte) {
-	for i := range b {
-		b[i] = 0
 	}
 }

@@ -153,17 +153,17 @@ func TestCiphertextActuallyEncrypted(t *testing.T) {
 	if err := e.Write(0, pt); err != nil {
 		t.Fatal(err)
 	}
-	ct := e.data[0]
-	if bytes.Equal(ct[:], pt) {
+	ct := e.store.Ciphertext(0)
+	if bytes.Equal(ct, pt) {
 		t.Fatal("ciphertext equals plaintext")
 	}
 	// And two writes of the same plaintext give different ciphertexts
 	// (counter advanced -> fresh pad).
-	first := *ct
+	first := *(*[BlockBytes]byte)(ct)
 	if err := e.Write(0, pt); err != nil {
 		t.Fatal(err)
 	}
-	if *e.data[0] == first {
+	if *(*[BlockBytes]byte)(e.store.Ciphertext(0)) == first {
 		t.Fatal("pad reuse: same ciphertext for two writes of one plaintext")
 	}
 }
@@ -414,7 +414,7 @@ func TestDisabledEncryptionPassthrough(t *testing.T) {
 		t.Fatal("passthrough corrupted data")
 	}
 	// Stored image IS the plaintext (no encryption).
-	if !bytes.Equal(e.data[1][:], want) {
+	if !bytes.Equal(e.store.Ciphertext(1), want) {
 		t.Fatal("disabled encryption should store plaintext")
 	}
 	if err := e.TamperCiphertext(0x40, 0); err == nil {

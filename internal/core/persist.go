@@ -6,10 +6,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 
 	"authmem/internal/ctr"
-	"authmem/internal/macecc"
 )
 
 // Persistence for non-volatile main memory (§2.2): the encrypted region,
@@ -55,56 +53,48 @@ func (e *Engine) Persist(w io.Writer) (RootDigest, error) {
 		}
 	}
 
-	// Data blocks, sorted for a deterministic image.
-	blocks := make([]uint64, 0, len(e.data))
-	for blk := range e.data {
-		blocks = append(blocks, blk)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	if err := writeU64(bw, uint64(len(blocks))); err != nil {
+	// Data blocks. Arena iteration is ascending by block index, so the
+	// image is deterministic without an explicit sort.
+	if err := writeU64(bw, uint64(e.store.Len())); err != nil {
 		return digest, err
 	}
-	for _, blk := range blocks {
-		if err := writeU64(bw, blk); err != nil {
-			return digest, err
+	var werr error
+	e.store.forEach(func(blk uint64, ct []byte, meta *uint64, check []byte) {
+		if werr != nil {
+			return
 		}
-		if _, err := bw.Write(e.data[blk][:]); err != nil {
-			return digest, err
+		if werr = writeU64(bw, blk); werr != nil {
+			return
 		}
-		if e.cfg.Placement == MACInECC {
-			if err := writeU64(bw, uint64(e.eccMeta[blk])); err != nil {
-				return digest, err
-			}
-		} else {
-			if err := writeU64(bw, e.inlineTag[blk]); err != nil {
-				return digest, err
-			}
-			check := e.dataCheck[blk]
-			if check == nil {
-				check = new([8]uint8)
-			}
-			if _, err := bw.Write(check[:]); err != nil {
-				return digest, err
-			}
+		if _, werr = bw.Write(ct); werr != nil {
+			return
 		}
+		if werr = writeU64(bw, *meta); werr != nil {
+			return
+		}
+		if e.cfg.Placement == MACInline {
+			_, werr = bw.Write(check)
+		}
+	})
+	if werr != nil {
+		return digest, werr
 	}
 
-	// Counter-block images.
-	midxs := make([]uint64, 0, len(e.metaImages))
-	for m := range e.metaImages {
-		midxs = append(midxs, m)
-	}
-	sort.Slice(midxs, func(i, j int) bool { return midxs[i] < midxs[j] })
-	if err := writeU64(bw, uint64(len(midxs))); err != nil {
+	// Counter-block images, likewise in ascending order.
+	if err := writeU64(bw, uint64(e.images.Len())); err != nil {
 		return digest, err
 	}
-	for _, m := range midxs {
-		if err := writeU64(bw, m); err != nil {
-			return digest, err
+	e.images.forEach(func(midx uint64, img []byte) {
+		if werr != nil {
+			return
 		}
-		if _, err := bw.Write(e.metaImages[m][:]); err != nil {
-			return digest, err
+		if werr = writeU64(bw, midx); werr != nil {
+			return
 		}
+		_, werr = bw.Write(img)
+	})
+	if werr != nil {
+		return digest, werr
 	}
 
 	// Integrity tree (all levels; the top level is additionally pinned
@@ -169,28 +159,18 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 		if blk >= cfg.DataBlocks() {
 			return nil, fmt.Errorf("core: image block %d out of region", blk)
 		}
-		ct := new([BlockBytes]byte)
-		if _, err := io.ReadFull(br, ct[:]); err != nil {
+		if _, err := io.ReadFull(br, e.store.Materialize(blk)); err != nil {
 			return nil, err
 		}
-		e.data[blk] = ct
-		if cfg.Placement == MACInECC {
-			meta, err := readU64(br)
-			if err != nil {
+		meta, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		e.store.SetMeta(blk, meta)
+		if cfg.Placement == MACInline {
+			if _, err := io.ReadFull(br, e.store.Check(blk)); err != nil {
 				return nil, err
 			}
-			e.eccMeta[blk] = macecc.Meta(meta)
-		} else {
-			tag, err := readU64(br)
-			if err != nil {
-				return nil, err
-			}
-			e.inlineTag[blk] = tag
-			check := new([8]uint8)
-			if _, err := io.ReadFull(br, check[:]); err != nil {
-				return nil, err
-			}
-			e.dataCheck[blk] = check
 		}
 	}
 
@@ -214,11 +194,9 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 		if m >= e.tr.Leaves() {
 			return nil, fmt.Errorf("core: image metadata block %d out of range", m)
 		}
-		img := new([BlockBytes]byte)
-		if _, err := io.ReadFull(br, img[:]); err != nil {
+		if _, err := io.ReadFull(br, e.images.Store(m)); err != nil {
 			return nil, err
 		}
-		e.metaImages[m] = img
 		midxs = append(midxs, m)
 	}
 
@@ -236,15 +214,15 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 	// trusting it, then rebuild the scheme state machines from the
 	// verified images.
 	for _, m := range midxs {
-		img := e.metaImages[m]
-		if _, err := e.tr.VerifyLeaf(e.metaLeaf(m), img[:]); err != nil {
+		img := e.images.Load(m)
+		if err := e.tr.VerifyLeafFast(e.metaLeaf(m), img); err != nil {
 			e.stats.IntegrityFailures++
 			return nil, &IntegrityError{
 				Addr:   m * BlockBytes,
 				Reason: "persistent counter block failed tree verification: " + err.Error(),
 			}
 		}
-		if err := loader.LoadMetadata(m, *img); err != nil {
+		if err := loader.LoadMetadata(m, *(*[BlockBytes]byte)(img)); err != nil {
 			return nil, &IntegrityError{
 				Addr:   m * BlockBytes,
 				Reason: "persistent counter block undecodable: " + err.Error(),

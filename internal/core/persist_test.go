@@ -85,7 +85,7 @@ func TestResumeRejectsTamperedImage(t *testing.T) {
 	// data section (count + n*(idx 8 + ct 64 + meta 8)), then the counter
 	// images (count + m*(idx 8 + 64)).
 	dataOff := 8 + 6*8
-	nBlocks := len(e.data)
+	nBlocks := e.store.Len()
 	metaOff := dataOff + 8 + nBlocks*(8+64+8)
 
 	// 1. Tampering a counter-block image is caught eagerly at Resume by

@@ -105,9 +105,7 @@ func (s *DeltaScheme) Touch(block uint64) WriteOutcome {
 	// write, as done by the increment-and-reset unit.
 	if d := g.allEqual(); d > 0 {
 		g.ref += uint64(d)
-		for j := range g.deltas {
-			g.deltas[j] = 0
-		}
+		clear(g.deltas[:])
 		s.stats.Resets++
 		out.Reset = true
 	}
@@ -155,9 +153,7 @@ func (s *DeltaScheme) reencrypt(gid uint64, g *deltaGroup, newRef uint64) {
 		s.hook(gid*GroupBlocks, old, newRef)
 	}
 	g.ref = newRef
-	for j := range g.deltas {
-		g.deltas[j] = 0
-	}
+	clear(g.deltas[:])
 	s.stats.Reencryptions++
 	s.stats.ReencryptedBlocks += GroupBlocks
 }

@@ -123,9 +123,7 @@ func (s *DualLengthScheme) Touch(block uint64) WriteOutcome {
 
 	if d := g.allEqual(); d > 0 {
 		g.ref += uint64(d)
-		for j := range g.deltas {
-			g.deltas[j] = 0
-		}
+		clear(g.deltas[:])
 		g.extended = -1 // all-zero deltas free the reserve
 		s.stats.Resets++
 		out.Reset = true
@@ -182,9 +180,7 @@ func (s *DualLengthScheme) reencrypt(gid uint64, g *dualGroup, newRef uint64) {
 		s.hook(gid*GroupBlocks, old, newRef)
 	}
 	g.ref = newRef
-	for j := range g.deltas {
-		g.deltas[j] = 0
-	}
+	clear(g.deltas[:])
 	g.extended = -1
 	s.stats.Reencryptions++
 	s.stats.ReencryptedBlocks += GroupBlocks

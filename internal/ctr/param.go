@@ -103,9 +103,7 @@ func (s *ParamDeltaScheme) Touch(block uint64) WriteOutcome {
 				s.hook(gid*uint64(s.group), old, newRef)
 			}
 			g.ref = newRef
-			for j := range g.deltas {
-				g.deltas[j] = 0
-			}
+			clear(g.deltas)
 			s.stats.Reencryptions++
 			s.stats.ReencryptedBlocks += uint64(s.group)
 			out.Reencrypted = true
@@ -130,9 +128,7 @@ func (s *ParamDeltaScheme) Touch(block uint64) WriteOutcome {
 	}
 	if equal {
 		g.ref += uint64(d)
-		for j := range g.deltas {
-			g.deltas[j] = 0
-		}
+		clear(g.deltas)
 		s.stats.Resets++
 		out.Reset = true
 	}
@@ -245,9 +241,7 @@ func (s *ParamSplitScheme) Touch(block uint64) WriteOutcome {
 		s.hook(gid*uint64(s.group), old, newCounter)
 	}
 	g.major = newMajor
-	for j := range g.minors {
-		g.minors[j] = 0
-	}
+	clear(g.minors)
 	g.minors[i] = 1
 	s.stats.Reencryptions++
 	s.stats.ReencryptedBlocks += uint64(s.group)

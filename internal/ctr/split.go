@@ -78,9 +78,7 @@ func (s *SplitScheme) Touch(block uint64) WriteOutcome {
 		s.hook(gid*GroupBlocks, old, newCounter)
 	}
 	g.major = newMajor
-	for j := range g.minors {
-		g.minors[j] = 0
-	}
+	clear(g.minors[:])
 	// The triggering block still gets its write: increment its fresh minor.
 	g.minors[i] = 1
 	s.stats.Reencryptions++

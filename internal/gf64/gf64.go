@@ -43,14 +43,22 @@ func Mul(a, b uint64) uint64 {
 // MulWide returns the 128-bit carry-less product of a and b without
 // reduction, as (hi, lo). It is used by tests to cross-check Mul against an
 // independent reduce step, and by callers that need raw CLMUL semantics.
+//
+// The loop is the mask-accumulate form of the schoolbook product: the
+// 128-bit value (ahi, alo) tracks a << i across iterations with two
+// constant-distance shifts, and a branch-free mask accumulates it whenever
+// bit i of b is set. Unlike the earlier variable-shift formulation there is
+// no per-iteration shift-by-i, and the iteration count is fixed, keeping
+// the routine constant-time in both operands.
 func MulWide(a, b uint64) (hi, lo uint64) {
+	var ahi, alo uint64 = 0, a
 	for i := 0; i < 64; i++ {
 		mask := -(b & 1)
-		lo ^= (a << uint(i)) & mask
-		if i > 0 {
-			hi ^= (a >> uint(64-i)) & mask
-		}
+		lo ^= alo & mask
+		hi ^= ahi & mask
 		b >>= 1
+		ahi = ahi<<1 | alo>>63
+		alo <<= 1
 	}
 	return hi, lo
 }

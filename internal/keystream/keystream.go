@@ -7,10 +7,23 @@
 // across writes to the same block. The critical security invariant —
 // never reuse a (address, counter) pair under one key — is what the
 // counter schemes in internal/ctr exist to maintain.
+//
+// Two hot-path facilities mirror what the paper's hardware gets for free:
+//
+//   - PadN/XORBlocks batch APIs amortize per-call overhead across a run of
+//     contiguous blocks, the access shape of group re-encryption sweeps
+//     (64 blocks re-padded under one counter) and of multi-block I/O.
+//   - A small direct-mapped pad cache keyed by (addr, counter) models the
+//     controller's pad precomputation: a pad generated at write time is
+//     still there when the block is read back, or when a re-encryption
+//     sweep decrypts what was just written.
+//
+// The cache holds key-derived pads, so callers that share a Cipher across
+// goroutines must not enable it (the Engine, which serializes accesses,
+// does).
 package keystream
 
 import (
-	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
 
@@ -20,9 +33,35 @@ import (
 // BlockSize is the encryption granularity in bytes (one cache line).
 const BlockSize = 64
 
+// lanes is the number of AES blocks per pad.
+const lanes = BlockSize / aes.BlockSize
+
+// padEntry is one direct-mapped cache slot.
+type padEntry struct {
+	addr    uint64
+	counter uint64
+	valid   bool
+	pad     [BlockSize]byte
+}
+
+// CacheStats reports pad-cache effectiveness.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
 // Cipher generates 64-byte keystream pads with AES-128.
+//
+// The block cipher is held as the concrete *aes.Cipher so the per-lane AES
+// calls devirtualize and their buffers stay on the stack; Pad and XOR are
+// allocation-free.
 type Cipher struct {
-	blk cipher.Block
+	blk *aes.Cipher
+
+	// cache is the optional direct-mapped pad cache; nil when disabled.
+	cache     []padEntry
+	cacheMask uint64
+	stats     CacheStats
 }
 
 // New creates a Cipher from a 16-byte AES-128 key (24/32 bytes select
@@ -36,20 +75,87 @@ func New(key []byte) (*Cipher, error) {
 	return &Cipher{blk: blk}, nil
 }
 
+// EnablePadCache attaches a direct-mapped pad cache of the given number of
+// entries (a power of two; 64 bytes of pad per entry). Re-enabling resizes
+// and clears the cache. The cache makes the Cipher unsafe for concurrent
+// use.
+func (c *Cipher) EnablePadCache(entries int) error {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return fmt.Errorf("keystream: cache entries %d not a power of two", entries)
+	}
+	c.cache = make([]padEntry, entries)
+	c.cacheMask = uint64(entries - 1)
+	c.stats = CacheStats{}
+	return nil
+}
+
+// CacheStats returns pad-cache hit/miss counts since EnablePadCache.
+func (c *Cipher) CacheStats() CacheStats { return c.stats }
+
+// slot maps (addr, counter) to a cache index. Addresses are block-aligned,
+// so the low 6 bits carry no information; a Fibonacci mix of both inputs
+// spreads sweeps (sequential addr, fixed counter) and rewrites (fixed addr,
+// rising counter) across the sets.
+func (c *Cipher) slot(addr, counter uint64) *padEntry {
+	h := (addr>>6 ^ counter*0x9E3779B97F4A7C15) * 0x9E3779B97F4A7C15
+	return &c.cache[(h>>32)&c.cacheMask]
+}
+
+// generate writes the four-lane AES pad for (addr, counter) into dst,
+// which must be at least BlockSize bytes.
+func (c *Cipher) generate(dst []byte, addr, counter uint64) {
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[:8], addr)
+	for lane := 0; lane < lanes; lane++ {
+		// Mix the lane index into the top byte of the counter half so
+		// the four AES inputs are distinct. Counters are at most 56
+		// bits, so the top byte is free.
+		binary.LittleEndian.PutUint64(in[8:], counter|uint64(lane)<<56)
+		c.blk.Encrypt(dst[lane*16:(lane+1)*16], in[:])
+	}
+}
+
+// lookup returns the cached or freshly generated pad for (addr, counter).
+// With the cache disabled it generates into scratch and returns it.
+func (c *Cipher) lookup(scratch *[BlockSize]byte, addr, counter uint64) *[BlockSize]byte {
+	if c.cache == nil {
+		c.generate(scratch[:], addr, counter)
+		return scratch
+	}
+	e := c.slot(addr, counter)
+	if e.valid && e.addr == addr && e.counter == counter {
+		c.stats.Hits++
+		return &e.pad
+	}
+	c.stats.Misses++
+	c.generate(e.pad[:], addr, counter)
+	e.addr, e.counter, e.valid = addr, counter, true
+	return &e.pad
+}
+
 // Pad writes the 64-byte keystream for (addr, counter) into dst.
 // The pad is four AES blocks over (addr, counter, lane) tuples.
 func (c *Cipher) Pad(dst []byte, addr, counter uint64) error {
 	if len(dst) != BlockSize {
 		return fmt.Errorf("keystream: dst must be %d bytes, got %d", BlockSize, len(dst))
 	}
-	var in [16]byte
-	binary.LittleEndian.PutUint64(in[:8], addr)
-	for lane := 0; lane < 4; lane++ {
-		// Mix the lane index into the top byte of the counter half so
-		// the four AES inputs are distinct. Counters are at most 56
-		// bits, so the top byte is free.
-		binary.LittleEndian.PutUint64(in[8:], counter|uint64(lane)<<56)
-		c.blk.Encrypt(dst[lane*16:(lane+1)*16], in[:])
+	var scratch [BlockSize]byte
+	copy(dst, c.lookup(&scratch, addr, counter)[:])
+	return nil
+}
+
+// PadN writes the keystreams of len(dst)/BlockSize contiguous blocks into
+// dst: block i gets the pad for (addr + i*BlockSize, counter). This is the
+// pad shape of a group re-encryption sweep, which re-pads a whole group
+// under one shared counter. len(dst) must be a positive multiple of
+// BlockSize.
+func (c *Cipher) PadN(dst []byte, addr, counter uint64) error {
+	if len(dst) == 0 || len(dst)%BlockSize != 0 {
+		return fmt.Errorf("keystream: dst length %d not a positive multiple of %d", len(dst), BlockSize)
+	}
+	var scratch [BlockSize]byte
+	for off := 0; off < len(dst); off += BlockSize {
+		copy(dst[off:off+BlockSize], c.lookup(&scratch, addr+uint64(off), counter)[:])
 	}
 	return nil
 }
@@ -61,12 +167,38 @@ func (c *Cipher) XOR(dst, src []byte, addr, counter uint64) error {
 	if len(src) != BlockSize || len(dst) != BlockSize {
 		return fmt.Errorf("keystream: src/dst must be %d bytes", BlockSize)
 	}
-	var pad [BlockSize]byte
-	if err := c.Pad(pad[:], addr, counter); err != nil {
-		return err
+	var scratch [BlockSize]byte
+	xorBlock(dst, src, c.lookup(&scratch, addr, counter))
+	return nil
+}
+
+// XORBlocks applies the keystreams of len(src)/BlockSize contiguous blocks
+// to src, writing into dst: block i is XORed with the pad for
+// (addr + i*BlockSize, counter). dst and src must have equal length, a
+// positive multiple of BlockSize, and may alias exactly (dst == src);
+// partially overlapping buffers are not supported.
+func (c *Cipher) XORBlocks(dst, src []byte, addr, counter uint64) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("keystream: src/dst length mismatch (%d vs %d)", len(src), len(dst))
 	}
-	for i := range pad {
-		dst[i] = src[i] ^ pad[i]
+	if len(src) == 0 || len(src)%BlockSize != 0 {
+		return fmt.Errorf("keystream: length %d not a positive multiple of %d", len(src), BlockSize)
+	}
+	var scratch [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		pad := c.lookup(&scratch, addr+uint64(off), counter)
+		xorBlock(dst[off:off+BlockSize], src[off:off+BlockSize], pad)
 	}
 	return nil
+}
+
+// xorBlock XORs one 64-byte block word-wise. dst and src may be the same
+// slice.
+func xorBlock(dst, src []byte, pad *[BlockSize]byte) {
+	_ = src[BlockSize-1]
+	_ = dst[BlockSize-1]
+	for i := 0; i < BlockSize; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:]) ^ binary.LittleEndian.Uint64(pad[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
 }

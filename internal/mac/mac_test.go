@@ -1,9 +1,12 @@
 package mac
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"authmem/internal/gf64"
 )
 
 func testKey(t testing.TB) *Key {
@@ -172,6 +175,61 @@ func TestTagDistribution(t *testing.T) {
 		if len(m) < 200 {
 			t.Errorf("tag byte %d only took %d distinct values", b, len(m))
 		}
+	}
+}
+
+// referenceTag recomputes a tag with the Horner-form hash over the
+// bit-serial constant-time gf64.Mul — the oracle the table-driven dot
+// product in Tag must match bit-for-bit.
+func referenceTag(k *Key, ciphertext []byte, addr, counter uint64) uint64 {
+	var words [blockWords]uint64
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(ciphertext[i*8:])
+	}
+	return (gf64.Horner(k.h, words[:]) ^ k.pad(addr, counter)) & TagMask
+}
+
+// TestTagMatchesHornerReference proves the table-driven dot product
+// equivalent to the Horner/bit-serial reference on 10k random inputs.
+func TestTagMatchesHornerReference(t *testing.T) {
+	k := testKey(t)
+	rng := rand.New(rand.NewSource(8))
+	ct := make([]byte, BlockSize)
+	for i := 0; i < 10_000; i++ {
+		rng.Read(ct)
+		addr, counter := rng.Uint64(), rng.Uint64()
+		got, err := k.Tag(ct, addr, counter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := referenceTag(k, ct, addr, counter); got != want {
+			t.Fatalf("Tag = %#x, reference = %#x (iter %d)", got, want, i)
+		}
+	}
+	// Edge blocks: all-zero, all-ones, single bit set at each word.
+	for _, fill := range []byte{0x00, 0xFF} {
+		for i := range ct {
+			ct[i] = fill
+		}
+		got, _ := k.Tag(ct, 0x40, 1)
+		if want := referenceTag(k, ct, 0x40, 1); got != want {
+			t.Fatalf("Tag(fill %#x) = %#x, reference = %#x", fill, got, want)
+		}
+	}
+}
+
+// TestTagZeroAllocs pins the steady-state allocation count of Tag at zero —
+// the property the engine's zero-alloc read path depends on.
+func TestTagZeroAllocs(t *testing.T) {
+	k := testKey(t)
+	ct := make([]byte, BlockSize)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := k.Tag(ct, 0x1000, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Tag performed %v allocs/op, want 0", allocs)
 	}
 }
 

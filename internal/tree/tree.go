@@ -194,6 +194,56 @@ func (t *Tree) VerifyLeaf(i uint64, image []byte) ([]NodeID, error) {
 	return read, nil
 }
 
+// UpdateLeafFast is UpdateLeaf without the touched-node report: the same
+// path recompute, but allocation-free, for hot paths that do not feed the
+// timing model.
+func (t *Tree) UpdateLeafFast(i uint64, image []byte) error {
+	if i >= t.leaves {
+		return fmt.Errorf("tree: leaf %d out of range (%d leaves)", i, t.leaves)
+	}
+	if len(image) != NodeBytes {
+		return fmt.Errorf("tree: leaf image must be %d bytes", NodeBytes)
+	}
+	tag := t.nodeTag(0, i, image)
+	idx := i
+	for k := 0; k < len(t.levels); k++ {
+		parent := idx / Arity
+		node := t.node(k, parent)
+		setSlot(node, idx%Arity, tag)
+		if k < len(t.levels)-1 {
+			tag = t.nodeTag(k+1, parent, node)
+		}
+		idx = parent
+	}
+	return nil
+}
+
+// VerifyLeafFast is VerifyLeaf without the read-node report: the same walk
+// and the same *ErrTampered failures, but allocation-free, for hot paths
+// that do not feed the timing model.
+func (t *Tree) VerifyLeafFast(i uint64, image []byte) error {
+	if i >= t.leaves {
+		return fmt.Errorf("tree: leaf %d out of range (%d leaves)", i, t.leaves)
+	}
+	if len(image) != NodeBytes {
+		return fmt.Errorf("tree: leaf image must be %d bytes", NodeBytes)
+	}
+	tag := t.nodeTag(0, i, image)
+	idx := i
+	for k := 0; k < len(t.levels); k++ {
+		parent := idx / Arity
+		node := t.node(k, parent)
+		if slot(node, idx%Arity) != tag {
+			return &ErrTampered{Level: k, Index: idx}
+		}
+		if k < len(t.levels)-1 {
+			tag = t.nodeTag(k+1, parent, node)
+		}
+		idx = parent
+	}
+	return nil
+}
+
 // Rebuild recomputes the whole tree from a leaf-image source, used at
 // initialization. leafImage must return the 64-byte image of leaf i.
 func (t *Tree) Rebuild(leafImage func(i uint64) []byte) error {

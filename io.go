@@ -9,7 +9,10 @@ import (
 // implementing io.ReaderAt and io.WriterAt. Hardware works in 64-byte
 // blocks; software rarely does. Unaligned writes perform verified
 // read-modify-write on the boundary blocks, exactly as a memory controller
-// handles partial-line writes.
+// handles partial-line writes; the aligned interior of a transfer goes
+// through the batched ReadBlocks/WriteBlocks path, which verifies and
+// commits counter metadata once per covering metadata block instead of once
+// per data block.
 
 var (
 	_ io.ReaderAt = (*Memory)(nil)
@@ -24,41 +27,67 @@ func (m *Memory) ReadAt(p []byte, off int64) (int, error) {
 	}
 	var block [BlockSize]byte
 	n := 0
-	for n < len(p) {
-		addr := (uint64(off) + uint64(n)) &^ (BlockSize - 1)
+	// Leading partial block.
+	if start := uint64(off) % BlockSize; start != 0 && n < len(p) {
+		addr := uint64(off) &^ (BlockSize - 1)
 		if _, err := m.Read(addr, block[:]); err != nil {
 			return n, err
 		}
-		start := uint64(off) + uint64(n) - addr
-		n += copy(p[n:], block[start:])
+		n += copy(p, block[start:])
+	}
+	// Aligned interior, batched.
+	if full := (len(p) - n) &^ (BlockSize - 1); full > 0 {
+		if err := m.eng.ReadBlocks(uint64(off)+uint64(n), p[n:n+full]); err != nil {
+			return n, err
+		}
+		n += full
+	}
+	// Trailing partial block.
+	if n < len(p) {
+		addr := uint64(off) + uint64(n)
+		if _, err := m.Read(addr, block[:]); err != nil {
+			return n, err
+		}
+		n += copy(p[n:], block[:])
 	}
 	return n, nil
 }
 
 // WriteAt writes len(p) bytes starting at byte offset off. Boundary blocks
-// are read, verified, merged, and re-encrypted; fully covered blocks are
-// written directly. It implements io.WriterAt.
+// are read, verified, merged, and re-encrypted; the fully covered interior
+// is written through the batched path. It implements io.WriterAt.
 func (m *Memory) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("authmem: negative offset %d", off)
 	}
 	var block [BlockSize]byte
 	n := 0
-	for n < len(p) {
-		pos := uint64(off) + uint64(n)
-		addr := pos &^ (BlockSize - 1)
-		start := pos - addr
-		span := BlockSize - int(start)
-		if rem := len(p) - n; rem < span {
-			span = rem
+	// Leading partial block: read-modify-write.
+	if start := uint64(off) % BlockSize; start != 0 && n < len(p) {
+		addr := uint64(off) &^ (BlockSize - 1)
+		if _, err := m.Read(addr, block[:]); err != nil {
+			return n, err
 		}
-		if start != 0 || span != BlockSize {
-			// Partial block: read-modify-write.
-			if _, err := m.Read(addr, block[:]); err != nil {
-				return n, err
-			}
+		span := copy(block[start:], p)
+		if err := m.Write(addr, block[:]); err != nil {
+			return n, err
 		}
-		copy(block[start:], p[n:n+span])
+		n += span
+	}
+	// Aligned interior, batched.
+	if full := (len(p) - n) &^ (BlockSize - 1); full > 0 {
+		if err := m.eng.WriteBlocks(uint64(off)+uint64(n), p[n:n+full]); err != nil {
+			return n, err
+		}
+		n += full
+	}
+	// Trailing partial block: read-modify-write.
+	if n < len(p) {
+		addr := uint64(off) + uint64(n)
+		if _, err := m.Read(addr, block[:]); err != nil {
+			return n, err
+		}
+		span := copy(block[:], p[n:])
 		if err := m.Write(addr, block[:]); err != nil {
 			return n, err
 		}

@@ -51,11 +51,34 @@ func (s *SyncMemory) WriteAt(p []byte, off int64) (int, error) {
 	return s.mem.WriteAt(p, off)
 }
 
+// WriteBlocks stores a contiguous span of blocks. See Memory.WriteBlocks.
+func (s *SyncMemory) WriteBlocks(addr uint64, src []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.WriteBlocks(addr, src)
+}
+
+// ReadBlocks reads a contiguous span of blocks. See Memory.ReadBlocks.
+func (s *SyncMemory) ReadBlocks(addr uint64, dst []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.ReadBlocks(addr, dst)
+}
+
 // Scrub runs one patrol-scrub pass. See Memory.Scrub.
 func (s *SyncMemory) Scrub() (ScrubReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mem.Scrub()
+}
+
+// ParallelScrub runs a sharded patrol-scrub pass. The memory lock is held
+// for the whole pass — the parallelism is internal to the scrubber. See
+// Memory.ParallelScrub.
+func (s *SyncMemory) ParallelScrub(workers int) (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.ParallelScrub(workers)
 }
 
 // Persist writes the NVMM image. See Memory.Persist.
