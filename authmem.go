@@ -216,6 +216,21 @@ type CounterStats = ctr.Stats
 // experiments.
 type BlockSnapshot = core.BlockSnapshot
 
+// RecoveryPolicy bounds what ReadRecover may attempt before quarantining a
+// block: bounded re-reads (transient-fault absorption) and counter-metadata
+// repair from trusted on-chip state.
+type RecoveryPolicy = core.RecoveryPolicy
+
+// RecoverInfo extends ReadInfo with what ReadRecover did to serve the read.
+type RecoverInfo = core.RecoverInfo
+
+// QuarantineError is returned for reads of a block ReadRecover has poisoned
+// after exhausting its recovery budget. A fresh Write releases the block.
+type QuarantineError = core.QuarantineError
+
+// DefaultRecoveryPolicy returns the policy a new Memory starts with.
+func DefaultRecoveryPolicy() RecoveryPolicy { return core.DefaultRecoveryPolicy() }
+
 // Write encrypts and stores one 64-byte block at the aligned address.
 func (m *Memory) Write(addr uint64, block []byte) error {
 	return m.eng.Write(addr, block)
@@ -243,6 +258,28 @@ func (m *Memory) WriteBlocks(addr uint64, src []byte) error {
 func (m *Memory) ReadBlocks(addr uint64, dst []byte) error {
 	return m.eng.ReadBlocks(addr, dst)
 }
+
+// ReadRecover is Read plus the engine's recovery ladder: on an integrity
+// failure it repairs counter metadata from trusted state when the failure is
+// in the counter plane, re-reads a bounded number of times to absorb
+// transient faults, and finally quarantines the block (subsequent reads
+// return a *QuarantineError until a fresh Write releases it). RecoverInfo
+// reports which rungs fired.
+func (m *Memory) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
+	return m.eng.ReadRecover(addr, dst)
+}
+
+// SetRecoveryPolicy replaces the recovery policy used by ReadRecover.
+func (m *Memory) SetRecoveryPolicy(p RecoveryPolicy) { m.eng.SetRecoveryPolicy(p) }
+
+// RecoveryPolicy reports the policy currently in force.
+func (m *Memory) RecoveryPolicy() RecoveryPolicy { return m.eng.RecoveryPolicy() }
+
+// Quarantined reports whether the block at addr is quarantined.
+func (m *Memory) Quarantined(addr uint64) bool { return m.eng.Quarantined(addr) }
+
+// QuarantineList returns the quarantined block indices in ascending order.
+func (m *Memory) QuarantineList() []uint64 { return m.eng.QuarantineList() }
 
 // Stats reports cumulative engine events.
 func (m *Memory) Stats() EngineStats { return m.eng.Stats() }

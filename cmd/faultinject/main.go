@@ -1,12 +1,25 @@
-// Command faultinject reproduces Figure 3: how standard SEC-DED ECC and the
-// proposed MAC-in-ECC scheme handle different bit-flip fault patterns.
+// Command faultinject exercises the design's fault handling at two scales.
 //
-// For each fault class it reports the fraction of injected faults that were
-// corrected, detected-but-uncorrectable, or silently miscorrected.
+// The default mode reproduces Figure 3: how standard SEC-DED ECC and the
+// proposed MAC-in-ECC scheme handle different bit-flip fault patterns on a
+// single isolated block. For each fault class it reports the fraction of
+// injected faults that were corrected, detected-but-uncorrectable, or
+// silently miscorrected.
+//
+// The -campaign mode runs the end-to-end fault-injection campaign engine
+// (internal/campaign): a randomized workload drives a full engine while
+// faults land in every attacker-reachable storage plane — ciphertext, the
+// ECC/MAC lane, counter blocks, tree nodes, and persisted images reloaded
+// mid-run — and every read is checked against a differential shadow
+// oracle. The structured JSON report is written to -out; the process exits
+// nonzero if any read silently returned wrong data.
 //
 // Usage:
 //
 //	faultinject [-trials n] [-seed s] [-budget 0|1|2]
+//	faultinject -campaign [-trials n] [-seed s] [-budget 0|1|2]
+//	           [-scheme delta] [-placement macecc] [-app facesim]
+//	           [-rate 0.15] [-burst 4] [-out CAMPAIGN_report.json]
 package main
 
 import (
@@ -14,15 +27,30 @@ import (
 	"fmt"
 	"os"
 
+	"authmem/internal/campaign"
+	"authmem/internal/core"
+	"authmem/internal/ctr"
 	"authmem/internal/fault"
 	"authmem/internal/stats"
 )
 
 func main() {
-	trials := flag.Int("trials", 2000, "fault injections per (scheme, class) cell")
-	seed := flag.Int64("seed", 1, "PRNG seed")
+	runCampaign := flag.Bool("campaign", false, "run the end-to-end campaign instead of the Figure 3 table")
+	trials := flag.Int("trials", 2000, "fault injections per cell (Figure 3) or total memory operations (-campaign)")
+	seed := flag.Int64("seed", 1, "PRNG seed (campaigns replay exactly under the same seed and flags)")
 	budget := flag.Int("budget", 2, "MAC-in-ECC flip-and-check budget (bits)")
+	scheme := flag.String("scheme", "delta", "campaign counter scheme: monolithic|split|delta|dual")
+	placement := flag.String("placement", "macecc", "campaign MAC placement: inline|macecc")
+	app := flag.String("app", "facesim", "campaign workload application (see internal/workload)")
+	rate := flag.Float64("rate", 0.15, "campaign per-operation fault probability")
+	burst := flag.Int("burst", 4, "campaign max bit flips per fault event")
+	out := flag.String("out", "CAMPAIGN_report.json", "campaign JSON report path")
 	flag.Parse()
+
+	if *runCampaign {
+		mainCampaign(*trials, *seed, *budget, *scheme, *placement, *app, *rate, *burst, *out)
+		return
+	}
 
 	fmt.Printf("Figure 3: error handling by fault pattern (%d trials per cell)\n", *trials)
 	fmt.Printf("cells are corrected%% / detected%% / miscorrected%%\n\n")
@@ -48,4 +76,68 @@ func main() {
 func cell(r fault.Result) string {
 	return fmt.Sprintf("%5.1f / %5.1f / %5.1f",
 		r.CorrectedPct(), r.DetectedPct(), r.MiscorrectedPct())
+}
+
+var schemes = map[string]ctr.Kind{
+	"monolithic": ctr.Monolithic,
+	"split":      ctr.Split,
+	"delta":      ctr.Delta,
+	"dual":       ctr.DualLength,
+}
+
+func mainCampaign(ops int, seed int64, budget int, scheme, placement, app string, rate float64, burst int, out string) {
+	kind, ok := schemes[scheme]
+	if !ok {
+		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
+	}
+	var place core.MACPlacement
+	switch placement {
+	case "inline":
+		place = core.MACInline
+	case "macecc":
+		place = core.MACInECC
+	default:
+		fatalf("unknown placement %q (inline|macecc)", placement)
+	}
+	ecfg := core.Default(kind, place)
+	ecfg.CorrectBits = budget
+
+	cfg := campaign.Default(ecfg, ops, seed)
+	cfg.App = app
+	cfg.FaultRate = rate
+	cfg.BurstMax = burst
+
+	fmt.Printf("Campaign: %s / %s, budget %d, ~%d ops across %d planes, seed %d\n",
+		kind, place, budget, ops, len(campaign.Planes()), seed)
+	rep, err := campaign.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	tb := stats.NewTable("plane", "ops", "faults", "flips", "clean", "corrected", "recovered", "halted", "SILENT")
+	for _, pr := range rep.Planes {
+		tb.AddRow(pr.Plane, pr.Ops, pr.FaultEvents, pr.BitsFlipped,
+			pr.Outcomes["clean"], pr.Outcomes["corrected"], pr.Outcomes["recovered"],
+			pr.Outcomes["halted"], pr.Outcomes["silent"])
+	}
+	fmt.Print(tb)
+	fmt.Printf("\nrecovery: %d metadata repairs, %d/%d retry recoveries, %d quarantines, %d scrub passes\n",
+		rep.MetadataRepairs, rep.RetryRecoveries, rep.RetriedReads, rep.Quarantined, rep.ScrubPasses)
+
+	if err := stats.WriteJSON(out, rep); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if !rep.Passed() {
+		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d silent corruption escape(s) — replay with -seed %d\n",
+			rep.SilentEscapes, seed)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultinject: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -10,10 +10,8 @@ package main
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"runtime"
 	"testing"
 
@@ -21,6 +19,7 @@ import (
 	"authmem/internal/gf64"
 	"authmem/internal/keystream"
 	"authmem/internal/mac"
+	"authmem/internal/stats"
 )
 
 // hotEntry is one benchmark result in BENCH_hotpath.json.
@@ -225,16 +224,7 @@ func runHotpath(outPath string) {
 		}))
 	}
 
-	f, err := os.Create(outPath)
-	if err != nil {
-		fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := stats.WriteJSON(outPath, rep); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", outPath)

@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"testing"
+
+	"authmem/internal/core"
+	"authmem/internal/ctr"
+)
+
+func run(t *testing.T, scheme ctr.Kind, placement core.MACPlacement, ops int, seed int64) *Report {
+	t.Helper()
+	cfg := Default(core.Default(scheme, placement), ops, seed)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestNoSilentCorruption is the campaign's headline claim across design
+// points: whatever faults land in whatever plane, the engine never returns
+// wrong data as if it were right.
+func TestNoSilentCorruption(t *testing.T) {
+	for _, scheme := range []ctr.Kind{ctr.Monolithic, ctr.Split, ctr.Delta, ctr.DualLength} {
+		for _, placement := range []core.MACPlacement{MACPlacements()[0], MACPlacements()[1]} {
+			scheme, placement := scheme, placement
+			t.Run(scheme.String()+"/"+placement.String(), func(t *testing.T) {
+				t.Parallel()
+				rep := run(t, scheme, placement, 1800, 7)
+				if !rep.Passed() {
+					t.Fatalf("%d silent escapes:\n%+v", rep.SilentEscapes, rep)
+				}
+				if rep.FaultEvents == 0 {
+					t.Fatal("campaign injected no faults")
+				}
+			})
+		}
+	}
+}
+
+// MACPlacements lists both placements (helper keeps the test table tidy).
+func MACPlacements() []core.MACPlacement {
+	return []core.MACPlacement{core.MACInline, core.MACInECC}
+}
+
+// TestDeterministicReplay: the same seed and config must reproduce the
+// exact outcome matrix — the property that makes failure seeds actionable.
+func TestDeterministicReplay(t *testing.T) {
+	a := run(t, ctr.Delta, core.MACInECC, 900, 42)
+	b := run(t, ctr.Delta, core.MACInECC, 900, 42)
+	if a.FaultEvents != b.FaultEvents || a.BitsFlipped != b.BitsFlipped || a.Ops != b.Ops {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Planes {
+		pa, pb := a.Planes[i], b.Planes[i]
+		if pa.FaultEvents != pb.FaultEvents || pa.BitsFlipped != pb.BitsFlipped {
+			t.Fatalf("plane %s diverged: %+v vs %+v", pa.Plane, pa, pb)
+		}
+		for k, v := range pa.Outcomes {
+			if pb.Outcomes[k] != v {
+				t.Fatalf("plane %s outcome %s: %d vs %d", pa.Plane, k, v, pb.Outcomes[k])
+			}
+		}
+	}
+}
+
+// TestFaultsActuallyBite: with a healthy fault rate the campaign must
+// exercise the interesting machinery, not just clean reads — otherwise the
+// zero-silent-escape claim is vacuous.
+func TestFaultsActuallyBite(t *testing.T) {
+	rep := run(t, ctr.Delta, core.MACInECC, 2400, 3)
+	tot := rep.Totals
+	if tot["halted"] == 0 {
+		t.Error("no faults ever halted a read (injection too weak)")
+	}
+	if tot["corrected"]+tot["recovered"] == 0 {
+		t.Error("no faults were ever corrected or recovered")
+	}
+	if rep.MetadataRepairs == 0 {
+		t.Error("counter/tree phases never triggered metadata repair")
+	}
+	if rep.Quarantined == 0 {
+		t.Error("no block was ever quarantined")
+	}
+	var persist *PlaneReport
+	for i := range rep.Planes {
+		if rep.Planes[i].Plane == "persist" {
+			persist = &rep.Planes[i]
+		}
+	}
+	if persist == nil || persist.ResumeTrials == 0 {
+		t.Error("persist plane ran no resume trials")
+	} else if persist.Outcomes["halted"] == 0 {
+		t.Error("no corrupt image was ever rejected at resume")
+	}
+}
+
+// TestValidate rejects malformed campaign configs.
+func TestValidate(t *testing.T) {
+	good := Default(core.Default(ctr.Delta, core.MACInECC), 600, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.OpsPerPlane = 0 },
+		func(c *Config) { c.FaultRate = 1.5 },
+		func(c *Config) { c.BurstMax = 0 },
+		func(c *Config) { c.TransientFrac = -0.1 },
+		func(c *Config) { c.PersistEvery = 0 },
+		func(c *Config) { c.App = "no-such-app" },
+		func(c *Config) { c.Engine.CorrectBits = 9 },
+	}
+	for i, mut := range bad {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -58,14 +58,14 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 			img = e.images.Load(midx)
 			if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
 				e.stats.IntegrityFailures++
-				return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata failed integrity tree check: " + err.Error()}
+				return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
 			}
 			curMidx = midx
 		}
 		counter, err := e.decodeCounter(img, blk)
 		if err != nil {
 			e.stats.IntegrityFailures++
-			return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata undecodable: " + err.Error()}
+			return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata undecodable: " + err.Error(), Stage: StageCounter}
 		}
 		if _, err := e.readVerified(blk, counter, dst[j*BlockBytes:(j+1)*BlockBytes]); err != nil {
 			return err

@@ -140,12 +140,52 @@ func (c Config) Validate() error {
 // DataBlocks returns the number of protected 64-byte blocks.
 func (c Config) DataBlocks() uint64 { return c.RegionBytes / BlockBytes }
 
+// FailStage identifies which verification stage detected an integrity
+// violation. The recovery path keys off it: counter-stage failures are
+// repairable from the trusted on-chip state machine, data-stage failures
+// are not.
+type FailStage int
+
+const (
+	// StageUnknown is the zero value for errors predating staging.
+	StageUnknown FailStage = iota
+	// StageCounter: the counter-block image failed its tree check or
+	// could not be decoded.
+	StageCounter
+	// StageData: the ciphertext failed MAC verification or SEC-DED
+	// decoding beyond the correction budget.
+	StageData
+	// StageDataTree: the classic data-tree design's per-block tree check
+	// failed.
+	StageDataTree
+	// StageResume: a persisted image failed validation while resuming.
+	StageResume
+)
+
+// String names the stage.
+func (s FailStage) String() string {
+	switch s {
+	case StageCounter:
+		return "counter"
+	case StageData:
+		return "data"
+	case StageDataTree:
+		return "data-tree"
+	case StageResume:
+		return "resume"
+	default:
+		return "unknown"
+	}
+}
+
 // IntegrityError reports a failed authentication or freshness check.
 type IntegrityError struct {
 	// Addr is the byte address of the offending access.
 	Addr uint64
 	// Reason describes which check failed.
 	Reason string
+	// Stage is the verification stage that detected the violation.
+	Stage FailStage
 }
 
 // Error implements error.

@@ -54,6 +54,13 @@ type Engine struct {
 	pendingWrite    uint64
 	hasPendingWrite bool
 
+	// recovery configures the retry-then-repair read path; quarantine
+	// holds blocks that exhausted it (see recovery.go). retryHook models
+	// the controller re-issuing a DRAM read on retry.
+	recovery   RecoveryPolicy
+	quarantine map[uint64]struct{}
+	retryHook  func(blk uint64)
+
 	stats EngineStats
 }
 
@@ -68,6 +75,14 @@ type EngineStats struct {
 	SECDEDCorrected   uint64 // baseline word corrections
 	ScrubPasses       uint64
 	ScrubFlagged      uint64
+	GroupReencrypts   uint64 // counter-overflow group re-encryption sweeps
+
+	// Recovery-path events (see recovery.go).
+	RetriedReads       uint64 // re-read attempts after a failed verify
+	RetryRecoveries    uint64 // reads salvaged by a retry re-read
+	MetadataRepairs    uint64 // counter/tree repairs from trusted state
+	Quarantined        uint64 // blocks added to the quarantine list
+	QuarantineRefusals uint64 // reads refused because the block is quarantined
 }
 
 // ReadInfo describes one successful read.
@@ -86,7 +101,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, recovery: DefaultRecoveryPolicy()}
 	e.store = newBlockStore(cfg.DataBlocks(), cfg.Placement == MACInline && !cfg.DisableEncryption)
 	if cfg.DisableEncryption {
 		return e, nil
@@ -206,8 +221,10 @@ func (e *Engine) Write(addr uint64, plaintext []byte) error {
 }
 
 // storeBlock encrypts plaintext under counter directly into the block's
-// arena slot and seals it (MAC, ECC bytes, data-tree leaf).
+// arena slot and seals it (MAC, ECC bytes, data-tree leaf). Fresh data
+// releases the block from quarantine: the faulty contents are overwritten.
 func (e *Engine) storeBlock(blk uint64, plaintext []byte, counter uint64) error {
+	delete(e.quarantine, blk)
 	ct := e.store.Materialize(blk)
 	if err := e.ks.XOR(ct, plaintext, blk*BlockBytes, counter); err != nil {
 		return err
@@ -264,6 +281,7 @@ func (e *Engine) commitMetadata(midx uint64) error {
 // the group under its old counter, re-pad the whole group under the shared
 // new counter in one batched XORBlocks sweep, and reinstall the results.
 func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCounter uint64) {
+	e.stats.GroupReencrypts++
 	n := len(oldCounters)
 	if rem := e.cfg.DataBlocks() - groupStart; uint64(n) > rem {
 		n = int(rem)
@@ -276,11 +294,26 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 	// Recover each block's plaintext under its old counter. Never-written
 	// blocks materialize as zeros; the in-flight write's slot is staged as
 	// zeros too but skipped at install time (its fresh data follows).
+	//
+	// Each stored block is authenticated (and repaired, if correctable)
+	// before it is decrypted: re-sealing an unverified ciphertext would
+	// launder a memory fault into a validly-MACed block — a silent
+	// corruption no later read could catch. Blocks that fail verification
+	// keep their old sealed bits and are quarantined; with the group now
+	// on the new counter, any read of them fails the MAC until software
+	// rewrites the block.
+	var skip [ctr.GroupBlocks]bool
 	for j := 0; j < n; j++ {
 		blk := groupStart + uint64(j)
 		pt := buf[j*BlockBytes : (j+1)*BlockBytes]
 		ct := e.store.Ciphertext(blk)
 		if ct == nil || (e.hasPendingWrite && blk == e.pendingWrite) {
+			clear(pt)
+			continue
+		}
+		if !e.verifyStored(blk, ct, oldCounters[j]) {
+			e.quarantineBlock(blk)
+			skip[j] = true
 			clear(pt)
 			continue
 		}
@@ -299,6 +332,9 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 		if e.hasPendingWrite && blk == e.pendingWrite {
 			continue // the in-flight write supplies fresh data
 		}
+		if skip[j] {
+			continue // quarantined: old sealed bits stay, reads must fail
+		}
 		ct := e.store.Materialize(blk)
 		copy(ct, buf[j*BlockBytes:(j+1)*BlockBytes])
 		if err := e.sealBlock(blk, ct, newCounter); err != nil {
@@ -306,6 +342,41 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 		}
 	}
 	// The caller (Touch -> Write) commits the metadata image afterwards.
+}
+
+// verifyStored authenticates a resident block's stored bits under counter,
+// repairing correctable faults in place exactly as a read would; false
+// means the block is uncorrectable and must not be trusted.
+func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64) bool {
+	switch e.cfg.Placement {
+	case MACInECC:
+		meta := macecc.Meta(e.store.Meta(blk))
+		out, err := e.ver.VerifyAndCorrect(ct, &meta, blk*BlockBytes, counter)
+		if err != nil {
+			panic(err) // sizes are fixed; cannot fail
+		}
+		if out.Status != macecc.OK {
+			return false
+		}
+		e.stats.CorrectedDataBits += uint64(out.CorrectedDataBits)
+		e.stats.CorrectedMACBits += uint64(out.CorrectedMACBits)
+		e.store.SetMeta(blk, uint64(meta))
+		return true
+	default:
+		outcome, err := ecc.DecodeBlock(ct, (*[8]uint8)(e.store.Check(blk)))
+		if err != nil {
+			panic(err)
+		}
+		if !outcome.Clean() {
+			return false
+		}
+		e.stats.SECDEDCorrected += uint64(outcome.CorrectedBits)
+		ok, err := e.key.Verify(ct, blk*BlockBytes, counter, e.store.Meta(blk))
+		if err != nil {
+			panic(err)
+		}
+		return ok
+	}
 }
 
 // Read verifies, decrypts, and returns one 64-byte block.
@@ -337,12 +408,12 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	img := e.images.Load(midx)
 	if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
 		e.stats.IntegrityFailures++
-		return info, &IntegrityError{Addr: addr, Reason: "counter metadata failed integrity tree check: " + err.Error()}
+		return info, &IntegrityError{Addr: addr, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
 	}
 	counter, err := e.decodeCounter(img, blk)
 	if err != nil {
 		e.stats.IntegrityFailures++
-		return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error()}
+		return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error(), Stage: StageCounter}
 	}
 	return e.readVerified(blk, counter, dst)
 }
@@ -354,11 +425,18 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 	var info ReadInfo
 	addr := blk * BlockBytes
 
+	if e.quarantine != nil {
+		if _, bad := e.quarantine[blk]; bad {
+			e.stats.QuarantineRefusals++
+			return info, &QuarantineError{Addr: addr}
+		}
+	}
+
 	ct := e.store.Ciphertext(blk)
 	if ct == nil {
 		if counter != 0 {
 			e.stats.IntegrityFailures++
-			return info, &IntegrityError{Addr: addr, Reason: "counter advanced but block missing"}
+			return info, &IntegrityError{Addr: addr, Reason: "counter advanced but block missing", Stage: StageData}
 		}
 		clear(dst)
 		info.Fresh = true
@@ -376,7 +454,7 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 		info.HardwareChecks = out.HardwareChecks
 		if out.Status != macecc.OK {
 			e.stats.IntegrityFailures++
-			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed (tamper or uncorrectable fault)"}
+			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed (tamper or uncorrectable fault)", Stage: StageData}
 		}
 		info.CorrectedDataBits = out.CorrectedDataBits
 		info.CorrectedMACBits = out.CorrectedMACBits
@@ -391,7 +469,7 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 		}
 		if !outcome.Clean() {
 			e.stats.IntegrityFailures++
-			return info, &IntegrityError{Addr: addr, Reason: "uncorrectable SEC-DED memory error"}
+			return info, &IntegrityError{Addr: addr, Reason: "uncorrectable SEC-DED memory error", Stage: StageData}
 		}
 		info.CorrectedDataBits = outcome.CorrectedBits
 		e.stats.SECDEDCorrected += uint64(outcome.CorrectedBits)
@@ -401,7 +479,7 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 		}
 		if !okTag {
 			e.stats.IntegrityFailures++
-			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed"}
+			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed", Stage: StageData}
 		}
 	}
 
@@ -411,7 +489,7 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 	if e.cfg.DataTree {
 		if err := e.tr.VerifyLeafFast(blk, ct); err != nil {
 			e.stats.IntegrityFailures++
-			return info, &IntegrityError{Addr: addr, Reason: "data block failed integrity tree check: " + err.Error()}
+			return info, &IntegrityError{Addr: addr, Reason: "data block failed integrity tree check: " + err.Error(), Stage: StageDataTree}
 		}
 	}
 

@@ -206,7 +206,7 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 	if expectRoot != nil {
 		got := sha256.Sum256(e.tr.TopLevel())
 		if got != *expectRoot {
-			return nil, &IntegrityError{Reason: "persistent image root digest mismatch (rollback or corruption)"}
+			return nil, &IntegrityError{Reason: "persistent image root digest mismatch (rollback or corruption)", Stage: StageResume}
 		}
 	}
 
@@ -220,12 +220,14 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 			return nil, &IntegrityError{
 				Addr:   m * BlockBytes,
 				Reason: "persistent counter block failed tree verification: " + err.Error(),
+				Stage:  StageResume,
 			}
 		}
 		if err := loader.LoadMetadata(m, *(*[BlockBytes]byte)(img)); err != nil {
 			return nil, &IntegrityError{
 				Addr:   m * BlockBytes,
 				Reason: "persistent counter block undecodable: " + err.Error(),
+				Stage:  StageResume,
 			}
 		}
 	}

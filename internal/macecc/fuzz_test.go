@@ -1,0 +1,114 @@
+package macecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzVerifyAndCorrect hammers the flip-and-check corrector with arbitrary
+// corruption of both the ciphertext and the ECC-lane meta word, at every
+// correction budget, and enforces the scheme's two safety properties:
+//
+//  1. No silent miscorrection: whenever VerifyAndCorrect reports OK, the
+//     (possibly repaired) ciphertext must be bit-identical to the sealed
+//     original. Returning OK with different bytes would be exactly the
+//     Figure 3 "miscorrected" cell the MAC exists to empty.
+//  2. No mutation on failure: when it reports Uncorrectable, the
+//     ciphertext must be exactly as corrupted — a machine-check path must
+//     not scribble on the evidence.
+//
+// The corruption spec is raw fuzz bytes: each 2-byte little-endian chunk
+// addresses one bit of the 576-bit (ciphertext + meta) surface. Duplicate
+// positions cancel, so the fuzzer also explores the "corruption that undoes
+// itself" edge.
+func FuzzVerifyAndCorrect(f *testing.F) {
+	f.Add([]byte{}, uint64(0), uint64(1))
+	f.Add([]byte{0x00, 0x00}, uint64(64), uint64(2))                        // single data bit
+	f.Add([]byte{0x07, 0x00, 0x3A, 0x01}, uint64(128), uint64(3))           // two data bits
+	f.Add([]byte{0x00, 0x02, 0x10, 0x02}, uint64(192), uint64(9))           // meta bits (tag)
+	f.Add([]byte{0x38, 0x02, 0x3F, 0x02}, uint64(256), uint64(1))           // Hamming/check bits
+	f.Add([]byte{0x01, 0x00, 0x01, 0x00}, uint64(0), uint64(5))             // cancelling pair
+	f.Add(bytes.Repeat([]byte{0x11, 0x00, 0x99, 0x01}, 4), uint64(64), uint64(7)) // burst
+
+	material := make([]byte, 24)
+	for i := range material {
+		material[i] = byte(i*11 + 5)
+	}
+
+	f.Fuzz(func(t *testing.T, spec []byte, addr, counter uint64) {
+		addr &= 0xFFFFFF
+		for budget := 0; budget <= 2; budget++ {
+			v := testVerifier(t, budget)
+			original, meta := protect(t, v, int64(counter)^0x5EED, addr, counter)
+
+			// Apply the corruption spec across ciphertext and meta.
+			ct := append([]byte(nil), original...)
+			for i := 0; i+1 < len(spec); i += 2 {
+				bit := int(uint16(spec[i]) | uint16(spec[i+1])<<8)
+				bit %= blockBits + 64
+				if bit < blockBits {
+					ct[bit/8] ^= 1 << uint(bit%8)
+				} else {
+					meta = meta.Flip(bit - blockBits)
+				}
+			}
+			corrupted := append([]byte(nil), ct...)
+
+			out, err := v.VerifyAndCorrect(ct, &meta, addr, counter)
+			if err != nil {
+				t.Fatalf("budget %d: unexpected error: %v", budget, err)
+			}
+			switch out.Status {
+			case OK:
+				if !bytes.Equal(ct, original) {
+					t.Fatalf("budget %d: OK with wrong ciphertext (silent miscorrection)\nspec %x", budget, spec)
+				}
+				if out.CorrectedDataBits > budget {
+					t.Fatalf("budget %d: corrected %d data bits", budget, out.CorrectedDataBits)
+				}
+			case Uncorrectable:
+				if !bytes.Equal(ct, original) && !bytes.Equal(ct, corrupted) {
+					t.Fatalf("budget %d: Uncorrectable mutated the ciphertext\nspec %x", budget, spec)
+				}
+			default:
+				t.Fatalf("budget %d: unknown status %v", budget, out.Status)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsExerciseBothStatuses keeps the fuzz harness honest: the
+// committed corpus must reach both the corrected and the uncorrectable
+// paths even when run as a plain test (CI fuzz smoke runs are short).
+func TestFuzzSeedsExerciseBothStatuses(t *testing.T) {
+	v := testVerifier(t, 2)
+	original, meta := protect(t, v, 1, 64, 9)
+
+	rng := rand.New(rand.NewSource(4))
+	var sawOK, sawUncorrectable bool
+	for trial := 0; trial < 200; trial++ {
+		ct := append([]byte(nil), original...)
+		m := meta
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			bit := rng.Intn(blockBits)
+			ct[bit/8] ^= 1 << uint(bit%8)
+		}
+		out, err := v.VerifyAndCorrect(ct, &m, 64, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch out.Status {
+		case OK:
+			sawOK = true
+			if !bytes.Equal(ct, original) {
+				t.Fatalf("trial %d: silent miscorrection", trial)
+			}
+		case Uncorrectable:
+			sawUncorrectable = true
+		}
+	}
+	if !sawOK || !sawUncorrectable {
+		t.Fatalf("coverage hole: ok=%v uncorrectable=%v", sawOK, sawUncorrectable)
+	}
+}

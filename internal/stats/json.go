@@ -1,0 +1,23 @@
+package stats
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSON writes v to path as indented JSON — the one format every
+// tracked result artifact (benchmark baselines, campaign reports) uses, so
+// diffs of committed reports stay reviewable.
+func WriteJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,6 +1,7 @@
 package authmem
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -86,5 +87,151 @@ func TestSyncMemoryConcurrentScrub(t *testing.T) {
 	// Nothing scrubbed should ever have flagged: no faults were injected.
 	if st := m.Stats(); st.ScrubFlagged != 0 || st.IntegrityFailures != 0 {
 		t.Fatalf("clean run reported faults: %+v", st)
+	}
+}
+
+// TestSyncMemoryQuarantineRace exercises the quarantine/retry path under
+// contention: one block is corrupted beyond the correction budget and driven
+// into quarantine, then concurrent ReadRecover readers hammer it (the
+// quarantine fast-fail path) while a scrubber sweeps the region (including
+// the still-corrupt quarantined block) and a writer stores to neighbors and
+// eventually releases the quarantine with a fresh write. The quarantine map
+// and retry bookkeeping are engine state mutated on the READ path, so this
+// is exactly the shape that shakes out a lock that only covers writes. Run
+// under -race.
+func TestSyncMemoryQuarantineRace(t *testing.T) {
+	cfg := testConfig(DeltaEncoding, MACInECC)
+	m, err := NewSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		victim  = uint64(7 * BlockSize)
+		blocks  = 64
+		readers = 4
+		iters   = 200
+	)
+	buf := make([]byte, BlockSize)
+	for b := 0; b < blocks; b++ {
+		for j := range buf {
+			buf[j] = byte(b ^ j)
+		}
+		if err := m.Write(uint64(b)*BlockSize, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Single-threaded setup phase: corrupt the victim beyond any budget and
+	// drive it into quarantine.
+	raw := m.Unwrap()
+	for bit := 0; bit < 41; bit++ {
+		if err := raw.FlipDataBit(victim, bit*12%512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.ReadRecover(victim, buf); err == nil {
+		t.Fatal("corrupted victim read succeeded")
+	}
+	if !m.Quarantined(victim) {
+		t.Fatal("victim not quarantined after failed recovery")
+	}
+
+	var released sync.WaitGroup
+	released.Add(1)
+	fresh := make([]byte, BlockSize)
+	for j := range fresh {
+		fresh[j] = 0xC3
+	}
+
+	errs := make(chan error, readers+2)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]byte, BlockSize)
+			for i := 0; i < iters; i++ {
+				// Hammer the quarantined block: before release every
+				// read must fail with QuarantineError; after release it
+				// must serve the writer's fresh data.
+				_, err := m.ReadRecover(victim, dst)
+				if err != nil {
+					var qe *QuarantineError
+					if !errors.As(err, &qe) {
+						errs <- fmt.Errorf("reader %d: non-quarantine error: %v", g, err)
+						return
+					}
+				} else if dst[0] != 0xC3 {
+					errs <- fmt.Errorf("reader %d: stale post-release data %#x", g, dst[0])
+					return
+				}
+				// And a healthy neighbor, via the same recovery path.
+				nb := uint64((g*13+i)%blocks) * BlockSize
+				if nb == victim {
+					nb += BlockSize
+				}
+				if _, err := m.ReadRecover(nb, dst); err != nil {
+					errs <- fmt.Errorf("reader %d: neighbor read: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/8; i++ {
+			// The quarantined block is still corrupt in DRAM; the scrub
+			// pass must tolerate it (counted uncorrectable, no error).
+			if _, err := m.Scrub(); err != nil {
+				errs <- fmt.Errorf("scrubber: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer released.Done()
+		src := make([]byte, BlockSize)
+		for i := 0; i < iters/2; i++ {
+			b := uint64(i % blocks)
+			if b == victim/BlockSize {
+				continue
+			}
+			for j := range src {
+				src[j] = byte(i ^ j)
+			}
+			if err := m.Write(b*BlockSize, src); err != nil {
+				errs <- fmt.Errorf("writer: %v", err)
+				return
+			}
+		}
+		// Fresh write releases the quarantine mid-flight.
+		if err := m.Write(victim, fresh); err != nil {
+			errs <- fmt.Errorf("writer: release: %v", err)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	released.Wait()
+	if m.Quarantined(victim) {
+		t.Fatal("victim still quarantined after release write")
+	}
+	if _, err := m.ReadRecover(victim, buf); err != nil {
+		t.Fatalf("post-release read: %v", err)
+	}
+	if buf[0] != 0xC3 {
+		t.Fatalf("post-release data wrong: %#x", buf[0])
+	}
+	if list := m.QuarantineList(); len(list) != 0 {
+		t.Fatalf("quarantine list not empty: %v", list)
 	}
 }

@@ -65,6 +65,41 @@ func (s *SyncMemory) ReadBlocks(addr uint64, dst []byte) error {
 	return s.mem.ReadBlocks(addr, dst)
 }
 
+// ReadRecover reads with the recovery ladder. See Memory.ReadRecover.
+func (s *SyncMemory) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.ReadRecover(addr, dst)
+}
+
+// SetRecoveryPolicy replaces the recovery policy. See Memory.SetRecoveryPolicy.
+func (s *SyncMemory) SetRecoveryPolicy(p RecoveryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem.SetRecoveryPolicy(p)
+}
+
+// RecoveryPolicy reports the policy currently in force.
+func (s *SyncMemory) RecoveryPolicy() RecoveryPolicy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.RecoveryPolicy()
+}
+
+// Quarantined reports whether the block at addr is quarantined.
+func (s *SyncMemory) Quarantined(addr uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Quarantined(addr)
+}
+
+// QuarantineList returns the quarantined block indices in ascending order.
+func (s *SyncMemory) QuarantineList() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.QuarantineList()
+}
+
 // Scrub runs one patrol-scrub pass. See Memory.Scrub.
 func (s *SyncMemory) Scrub() (ScrubReport, error) {
 	s.mu.Lock()
