@@ -14,12 +14,21 @@
 // oracle. The structured JSON report is written to -out; the process exits
 // nonzero if any read silently returned wrong data.
 //
+// The -concurrent mode runs the campaign's sharded-engine phase: several
+// worker goroutines, each owning a disjoint slice of the block space that
+// straddles shard boundaries, drive parallel faulted traffic against a
+// ShardedEngine, and the run ends with a sharded persist/resume sweep. The
+// safety bar is the same: zero silent escapes.
+//
 // Usage:
 //
 //	faultinject [-trials n] [-seed s] [-budget 0|1|2]
 //	faultinject -campaign [-trials n] [-seed s] [-budget 0|1|2]
 //	           [-scheme delta] [-placement macecc] [-app facesim]
 //	           [-rate 0.15] [-burst 4] [-out CAMPAIGN_report.json]
+//	faultinject -concurrent [-trials n] [-seed s] [-shards 4] [-workers 3]
+//	           [-scheme delta] [-placement macecc]
+//	           [-rate 0.15] [-burst 4] [-out CONCURRENT_report.json]
 package main
 
 import (
@@ -36,6 +45,9 @@ import (
 
 func main() {
 	runCampaign := flag.Bool("campaign", false, "run the end-to-end campaign instead of the Figure 3 table")
+	runConcurrent := flag.Bool("concurrent", false, "run the concurrent sharded-engine campaign phase")
+	shards := flag.Int("shards", 4, "shard count for -concurrent (power of two)")
+	workers := flag.Int("workers", 3, "traffic goroutines for -concurrent")
 	trials := flag.Int("trials", 2000, "fault injections per cell (Figure 3) or total memory operations (-campaign)")
 	seed := flag.Int64("seed", 1, "PRNG seed (campaigns replay exactly under the same seed and flags)")
 	budget := flag.Int("budget", 2, "MAC-in-ECC flip-and-check budget (bits)")
@@ -47,6 +59,10 @@ func main() {
 	out := flag.String("out", "CAMPAIGN_report.json", "campaign JSON report path")
 	flag.Parse()
 
+	if *runConcurrent {
+		mainConcurrent(*trials, *seed, *budget, *scheme, *placement, *rate, *burst, *shards, *workers, *out)
+		return
+	}
 	if *runCampaign {
 		mainCampaign(*trials, *seed, *budget, *scheme, *placement, *app, *rate, *burst, *out)
 		return
@@ -135,6 +151,62 @@ func mainCampaign(ops int, seed int64, budget int, scheme, placement, app string
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: %d operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
+}
+
+func mainConcurrent(ops int, seed int64, budget int, scheme, placement string, rate float64, burst, shards, workers int, out string) {
+	kind, ok := schemes[scheme]
+	if !ok {
+		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
+	}
+	var place core.MACPlacement
+	switch placement {
+	case "inline":
+		place = core.MACInline
+	case "macecc":
+		place = core.MACInECC
+	default:
+		fatalf("unknown placement %q (inline|macecc)", placement)
+	}
+	ecfg := core.Default(kind, place)
+	ecfg.CorrectBits = budget
+
+	cfg := campaign.DefaultConcurrent(ecfg, ops, seed)
+	cfg.FaultRate = rate
+	cfg.BurstMax = burst
+	cfg.Shards = shards
+	cfg.Workers = workers
+
+	fmt.Printf("Concurrent campaign: %s / %s, budget %d, %d shards x %d workers, ~%d ops, seed %d\n",
+		kind, place, budget, shards, workers, cfg.OpsPerWorker*workers, seed)
+	rep, err := campaign.RunConcurrent(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("ops", rep.Ops)
+	tb.AddRow("span reads", rep.SpanReads)
+	tb.AddRow("fault events", rep.FaultEvents)
+	tb.AddRow("bits flipped", rep.BitsFlipped)
+	for _, o := range campaign.Outcomes() {
+		tb.AddRow(o.String(), rep.Outcomes[o.String()])
+	}
+	tb.AddRow("resume sweep", rep.ResumeOutcome)
+	fmt.Print(tb)
+	fmt.Printf("\nrecovery: %d metadata repairs, %d/%d retry recoveries, %d quarantines\n",
+		rep.MetadataRepairs, rep.RetryRecoveries, rep.RetriedReads, rep.Quarantined)
+
+	if err := stats.WriteJSON(out, rep); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if !rep.Passed() {
+		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d silent escape(s) under concurrent traffic — replay with -seed %d\n",
+			rep.SilentEscapes, seed)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d concurrent operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
 }
 
 func fatalf(format string, args ...any) {

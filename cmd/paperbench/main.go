@@ -34,6 +34,8 @@ func main() {
 	table2 := flag.Bool("table2", false, "reproduce Table 2 (re-encryption rate)")
 	hotpath := flag.Bool("hotpath", false, "run hot-path microbenchmarks and write the tracked JSON baseline")
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -hotpath")
+	parallel := flag.Bool("parallel", false, "run the sharded-engine parallel throughput sweep and write the tracked JSON baseline")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
 	writebacks := flag.Uint64("writebacks", 16_000_000, "Table 2: writeback stream length")
@@ -44,16 +46,19 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath = true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel = true, true, true, true, true, true
 	}
 	if *hotpath {
 		runHotpath(*hotpathOut)
+	}
+	if *parallel {
+		runParallel(*parallelOut)
 	}
 	if *fig1 {
 		runFig1()

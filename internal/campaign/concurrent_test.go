@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"testing"
+
+	"authmem/internal/core"
+	"authmem/internal/ctr"
+)
+
+func runConcurrent(t *testing.T, scheme ctr.Kind, placement core.MACPlacement, ops int, seed int64) *ConcurrentReport {
+	t.Helper()
+	cfg := DefaultConcurrent(core.Default(scheme, placement), ops, seed)
+	rep, err := RunConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestConcurrentNoSilentEscapes is the sharded engine's headline claim:
+// under parallel faulted traffic — workers straddling shard boundaries,
+// faults landing in all four planes under the shard locks — no read ever
+// returns wrong data as if it were right, and the faulted state survives a
+// sharded persist/resume round trip.
+func TestConcurrentNoSilentEscapes(t *testing.T) {
+	for _, scheme := range []ctr.Kind{ctr.Monolithic, ctr.Delta} {
+		for _, placement := range []core.MACPlacement{core.MACInline, core.MACInECC} {
+			scheme, placement := scheme, placement
+			t.Run(scheme.String()+"/"+placement.String(), func(t *testing.T) {
+				t.Parallel()
+				rep := runConcurrent(t, scheme, placement, 2400, 11)
+				if !rep.Passed() {
+					t.Fatalf("%d silent escapes, resume %s:\n%+v",
+						rep.SilentEscapes, rep.ResumeOutcome, rep)
+				}
+				if rep.FaultEvents == 0 {
+					t.Fatal("concurrent phase injected no faults")
+				}
+				if rep.SpanReads == 0 {
+					t.Fatal("concurrent phase issued no cross-shard span reads")
+				}
+				if rep.Outcomes["halted"] == 0 && rep.Outcomes["recovered"] == 0 && rep.Outcomes["corrected"] == 0 {
+					t.Fatal("faults never bit: all reads were clean")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentWorkersStraddleShards verifies the phase's structural
+// premise: with the default 3-workers-over-4-shards layout, worker slices
+// cross shard boundaries so span traffic genuinely fans out.
+func TestConcurrentWorkersStraddleShards(t *testing.T) {
+	cfg := DefaultConcurrent(core.Default(ctr.Delta, core.MACInECC), 300, 1)
+	ecfg := cfg.Engine
+	ecfg.RegionBytes = regionBytes
+	s, err := core.NewShardedEngine(ecfg, cfg.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := partitionWorkers(cfg, s, ecfg.DataBlocks())
+	if len(workers) != cfg.Workers {
+		t.Fatalf("%d workers, want %d", len(workers), cfg.Workers)
+	}
+	straddlers := 0
+	for i, w := range workers {
+		if w.lo%ctr.GroupBlocks != 0 {
+			t.Errorf("worker %d range not group-aligned", i)
+		}
+		if i > 0 && w.lo != workers[i-1].hi {
+			t.Errorf("worker %d range not contiguous with predecessor", i)
+		}
+		loShard := s.ShardOf(w.span[0] * core.BlockBytes)
+		hiShard := s.ShardOf((w.span[1] - 1) * core.BlockBytes)
+		if loShard != hiShard {
+			straddlers++
+		}
+	}
+	if workers[len(workers)-1].hi != ecfg.DataBlocks() {
+		t.Error("worker ranges do not cover the region")
+	}
+	if straddlers == 0 {
+		t.Fatal("no worker span stripe straddles a shard boundary")
+	}
+}
+
+// TestConcurrentValidate rejects malformed concurrent configs.
+func TestConcurrentValidate(t *testing.T) {
+	good := DefaultConcurrent(core.Default(ctr.Delta, core.MACInECC), 600, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ConcurrentConfig){
+		func(c *ConcurrentConfig) { c.Workers = 0 },
+		func(c *ConcurrentConfig) { c.OpsPerWorker = 0 },
+		func(c *ConcurrentConfig) { c.FaultRate = 2 },
+		func(c *ConcurrentConfig) { c.BurstMax = 0 },
+		func(c *ConcurrentConfig) { c.Shards = 3 },
+		func(c *ConcurrentConfig) { c.Engine.CorrectBits = 9 },
+	}
+	for i, mut := range bad {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

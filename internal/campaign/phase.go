@@ -53,23 +53,8 @@ type phaseRun struct {
 // stats returns engine counters accumulated across every engine this phase
 // has driven (the persist plane retires engines at each clean resume).
 func (p *phaseRun) stats() core.EngineStats {
-	s := p.eng.Stats()
 	a := p.accStats
-	a.Reads += s.Reads
-	a.Writes += s.Writes
-	a.FreshReads += s.FreshReads
-	a.IntegrityFailures += s.IntegrityFailures
-	a.CorrectedDataBits += s.CorrectedDataBits
-	a.CorrectedMACBits += s.CorrectedMACBits
-	a.SECDEDCorrected += s.SECDEDCorrected
-	a.ScrubPasses += s.ScrubPasses
-	a.ScrubFlagged += s.ScrubFlagged
-	a.GroupReencrypts += s.GroupReencrypts
-	a.RetriedReads += s.RetriedReads
-	a.RetryRecoveries += s.RetryRecoveries
-	a.MetadataRepairs += s.MetadataRepairs
-	a.Quarantined += s.Quarantined
-	a.QuarantineRefusals += s.QuarantineRefusals
+	a.Add(p.eng.Stats())
 	return a
 }
 

@@ -29,6 +29,11 @@ func (e *Engine) TamperCiphertext(addr uint64, bit int) error {
 	if ct == nil {
 		return fmt.Errorf("core: block %#x not resident", addr)
 	}
+	// The fault lands in DRAM; drop any trusted on-chip copy so reads take
+	// the detection path a cold cache would (see TamperCounterBlock).
+	if e.bc != nil {
+		e.bc.evict(blk)
+	}
 	ct[bit/8] ^= 1 << uint(bit%8)
 	return nil
 }
@@ -45,6 +50,9 @@ func (e *Engine) TamperECCLane(addr uint64, bit int) error {
 	}
 	if !e.store.Present(blk) {
 		return fmt.Errorf("core: block %#x not resident", addr)
+	}
+	if e.bc != nil {
+		e.bc.evict(blk)
 	}
 	meta := macecc.Meta(e.store.Meta(blk))
 	e.store.SetMeta(blk, uint64(meta.Flip(bit)))
@@ -67,6 +75,9 @@ func (e *Engine) TamperInlineTag(addr uint64, bit int) error {
 	if !e.store.Present(blk) {
 		return fmt.Errorf("core: block %#x not resident", addr)
 	}
+	if e.bc != nil {
+		e.bc.evict(blk)
+	}
 	e.store.SetMeta(blk, e.store.Meta(blk)^1<<uint(bit))
 	return nil
 }
@@ -83,6 +94,15 @@ func (e *Engine) TamperCounterBlock(midx uint64, bit int) error {
 	if bit < 0 || bit >= BlockBytes*8 {
 		return fmt.Errorf("core: bit %d out of range", bit)
 	}
+	// The fault lands in DRAM; model the line as not (or no longer)
+	// resident in the counter cache so the detection path is exercised —
+	// a warm cache would mask DRAM faults until eviction by design.
+	if e.cc != nil {
+		e.cc.evict(midx)
+	}
+	if e.bc != nil {
+		e.bc.flush() // the image covers a whole group of data blocks
+	}
 	img := e.images.Store(midx)
 	img[bit/8] ^= 1 << uint(bit%8)
 	return nil
@@ -92,6 +112,14 @@ func (e *Engine) TamperCounterBlock(midx uint64, bit int) error {
 func (e *Engine) TamperTreeNode(id tree.NodeID, bit int) error {
 	if e.cfg.DisableEncryption {
 		return fmt.Errorf("core: no tree when encryption is disabled")
+	}
+	// A tree node covers many counter blocks; a cached line would bypass
+	// the corrupted walk entirely. Flush so reads take the detection path.
+	if e.cc != nil {
+		e.cc.flush()
+	}
+	if e.bc != nil {
+		e.bc.flush()
 	}
 	return e.tr.CorruptNode(id, bit)
 }
@@ -158,12 +186,19 @@ func (e *Engine) replayAt(s BlockSnapshot, addr uint64) error {
 	if s.hasData {
 		e.plantSnapshot(blk, &s)
 	}
-	copy(e.images.Store(e.scheme.MetadataBlock(blk)), s.counterImg[:])
+	midx := e.scheme.MetadataBlock(blk)
+	if e.cc != nil {
+		e.cc.evict(midx) // replayed line is a DRAM fault; see TamperCounterBlock
+	}
+	copy(e.images.Store(midx), s.counterImg[:])
 	return nil
 }
 
 // plantSnapshot writes a snapshot's data and MAC bits into blk's DRAM.
 func (e *Engine) plantSnapshot(blk uint64, s *BlockSnapshot) {
+	if e.bc != nil {
+		e.bc.evict(blk) // the replayed bits are a DRAM-level attack
+	}
 	copy(e.store.Materialize(blk), s.ciphertext[:])
 	e.store.SetMeta(blk, s.meta)
 	if e.cfg.Placement == MACInline {

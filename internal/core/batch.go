@@ -54,11 +54,25 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 	for j := uint64(0); j < n; j++ {
 		blk := first + j
 		e.stats.Reads++
+		if e.readCached(blk, dst[j*BlockBytes:(j+1)*BlockBytes]) {
+			continue
+		}
 		if midx := e.scheme.MetadataBlock(blk); midx != curMidx {
-			img = e.images.Load(midx)
-			if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
-				e.stats.IntegrityFailures++
-				return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
+			img = nil
+			if e.cc != nil {
+				if ent := e.cc.lookup(midx); ent != nil {
+					img = ent.img[:] // already tree-verified
+				}
+			}
+			if img == nil {
+				img = e.images.Load(midx)
+				if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
+					e.stats.IntegrityFailures++
+					return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
+				}
+				if e.cc != nil {
+					e.cc.insert(midx, img)
+				}
 			}
 			curMidx = midx
 		}

@@ -1,0 +1,90 @@
+package core
+
+// Verified-block cache: the functional analogue of the on-chip cache slice
+// that sits above the memory-encryption engine.
+//
+// A data block that passed MAC verification and was decrypted is trusted
+// plaintext; in hardware it lives in the processor's cache hierarchy, inside
+// the trust boundary, and later hits never reach the encryption engine at
+// all. The counter cache (countercache.go) already models the metadata half
+// of that boundary; this cache models the data half. On a hit a read pays
+// neither the tree walk nor the MAC nor the AES pad — exactly like an LLC
+// hit bypassing the memory controller.
+//
+// Consistency points, all internal to the engine:
+//   - storeBlock installs the fresh plaintext (write-allocate, so a
+//     read-after-write hits);
+//   - readVerified installs the just-decrypted plaintext on success;
+//   - tamper/replay APIs evict or flush — injected faults land in DRAM, and
+//     the campaign's job is to exercise the detection path a cold cache
+//     would take, not to mask faults behind a warm one;
+//   - repairMetadata flushes, so post-repair reads re-verify end to end;
+//   - a resumed engine starts cold.
+//
+// Group re-encryption changes ciphertext but not plaintext, so resident
+// lines stay valid across counter-overflow sweeps.
+//
+// The cache is off by default (nil); ShardedEngine enables one per shard.
+// That is the architectural point of the sharded design on a single core:
+// each shard brings a private cache slice, so the aggregate trusted on-chip
+// state — and with it read throughput over a fixed hot set — scales
+// linearly with the partition count, before any lock-level parallelism.
+
+// blockCacheEntry is one direct-mapped line of verified plaintext.
+type blockCacheEntry struct {
+	blk uint64 // +1; 0 means empty
+	pt  [BlockBytes]byte
+}
+
+// blockCache is a direct-mapped cache of verified, decrypted data blocks.
+type blockCache struct {
+	entries []blockCacheEntry
+	mask    uint64
+	hits    uint64
+	misses  uint64
+}
+
+// newBlockCache builds a cache with the given power-of-two entry count.
+func newBlockCache(entries int) *blockCache {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil
+	}
+	return &blockCache{
+		entries: make([]blockCacheEntry, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+// lookup returns the entry holding blk, or nil on miss. Indexing is by the
+// block number directly (like a physically-indexed cache), so a contiguous
+// hot region up to the cache size is conflict-free.
+func (c *blockCache) lookup(blk uint64) *blockCacheEntry {
+	e := &c.entries[blk&c.mask]
+	if e.blk == blk+1 {
+		c.hits++
+		return e
+	}
+	c.misses++
+	return nil
+}
+
+// insert installs a copy of blk's verified plaintext, displacing whatever
+// shared its slot.
+func (c *blockCache) insert(blk uint64, pt []byte) {
+	e := &c.entries[blk&c.mask]
+	e.blk = blk + 1
+	copy(e.pt[:], pt)
+}
+
+// evict drops blk's line if resident.
+func (c *blockCache) evict(blk uint64) {
+	e := &c.entries[blk&c.mask]
+	if e.blk == blk+1 {
+		e.blk = 0
+	}
+}
+
+// flush empties the cache.
+func (c *blockCache) flush() {
+	clear(c.entries)
+}

@@ -1,0 +1,123 @@
+package core
+
+import "authmem/internal/ctr"
+
+// Verified-counter cache: the functional analogue of the paper's Table 1
+// on-chip metadata cache (32KB, 8-way in the timing model).
+//
+// A counter block whose image has passed its integrity-tree walk is trusted
+// until evicted — that is the Bonsai Merkle tree contract: the tree
+// authenticates what crosses the trust boundary, and anything already inside
+// (SRAM) needs no re-verification. The seed engine re-walked the tree on
+// every read; with this cache, a read whose counter block is resident skips
+// the walk entirely and pays only MAC verification and decryption.
+//
+// Entries hold a private copy of the verified image, so later tampering with
+// the DRAM copy cannot retroactively corrupt the cached one. Decoded
+// counters are memoized per slot (in hardware the decode is combinational
+// logic; the memo models its zero marginal cost).
+//
+// Consistency points, all internal to the engine:
+//   - commitMetadata refreshes the cached copy (write-back cache behaviour);
+//   - repairMetadata and tamper APIs flush — injected faults land in DRAM,
+//     and the campaign's job is to exercise the detection path a cold
+//     metadata cache would take, not to mask faults behind a warm one;
+//   - a resumed engine starts cold.
+//
+// The cache is off by default (nil); ShardedEngine enables one per shard,
+// which is the architectural point: private metadata caches scale linearly
+// with shard count, exactly like per-core caches.
+
+// counterCacheEntry is one direct-mapped cache line.
+type counterCacheEntry struct {
+	midx    uint64 // +1; 0 means empty
+	decoded uint64 // bitmap: counters[i] holds slot i's decoded counter
+	img     [BlockBytes]byte
+	// counters memoizes per-slot decodes of img. GroupBlocks covers every
+	// scheme (monolithic packs only ctr.CountersPerMetadataBlock slots).
+	counters [ctr.GroupBlocks]uint64
+}
+
+// counterCache is a direct-mapped cache of tree-verified counter images.
+type counterCache struct {
+	entries []counterCacheEntry
+	mask    uint64
+	hits    uint64
+	misses  uint64
+}
+
+// newCounterCache builds a cache with the given power-of-two entry count.
+func newCounterCache(entries int) *counterCache {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil
+	}
+	return &counterCache{
+		entries: make([]counterCacheEntry, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+// lookup returns the entry holding midx, or nil on miss. The hit/miss
+// counters feed EngineStats.
+func (c *counterCache) lookup(midx uint64) *counterCacheEntry {
+	e := &c.entries[midx&c.mask]
+	if e.midx == midx+1 {
+		c.hits++
+		return e
+	}
+	c.misses++
+	return nil
+}
+
+// insert installs a copy of the just-verified image for midx, displacing
+// whatever shared its slot.
+func (c *counterCache) insert(midx uint64, img []byte) {
+	e := &c.entries[midx&c.mask]
+	e.midx = midx + 1
+	e.decoded = 0
+	copy(e.img[:], img)
+}
+
+// update refreshes midx's cached copy if resident (write-back on commit).
+// Non-resident blocks are not allocated: a write stream that never re-reads
+// must not evict the read working set.
+func (c *counterCache) update(midx uint64, img []byte) {
+	e := &c.entries[midx&c.mask]
+	if e.midx != midx+1 {
+		return
+	}
+	e.decoded = 0
+	copy(e.img[:], img)
+}
+
+// evict drops midx if resident.
+func (c *counterCache) evict(midx uint64) {
+	e := &c.entries[midx&c.mask]
+	if e.midx == midx+1 {
+		e.midx = 0
+		e.decoded = 0
+	}
+}
+
+// flush empties the cache.
+func (c *counterCache) flush() {
+	for i := range c.entries {
+		c.entries[i].midx = 0
+		c.entries[i].decoded = 0
+	}
+}
+
+// counter returns the decoded counter for slot, memoizing the decode.
+func (e *counterCacheEntry) counter(eng *Engine, blk uint64) (uint64, error) {
+	slot := eng.counterSlot(blk)
+	if e.decoded>>slot&1 == 1 {
+		return e.counters[slot], nil
+	}
+	v, err := eng.decodeCounter(e.img[:], blk)
+	if err != nil {
+		return 0, err
+	}
+	e.counters[slot] = v
+	e.decoded |= 1 << slot
+	return v, nil
+}

@@ -61,6 +61,15 @@ type Engine struct {
 	quarantine map[uint64]struct{}
 	retryHook  func(blk uint64)
 
+	// cc is the optional verified-counter cache (countercache.go), nil
+	// unless EnableCounterCache was called. ShardedEngine enables one per
+	// shard.
+	cc *counterCache
+
+	// bc is the optional verified-block cache (blockcache.go), nil unless
+	// EnableBlockCache was called. ShardedEngine enables one per shard.
+	bc *blockCache
+
 	stats EngineStats
 }
 
@@ -83,6 +92,38 @@ type EngineStats struct {
 	MetadataRepairs    uint64 // counter/tree repairs from trusted state
 	Quarantined        uint64 // blocks added to the quarantine list
 	QuarantineRefusals uint64 // reads refused because the block is quarantined
+
+	// Verified-counter cache events (zero unless EnableCounterCache).
+	MetaCacheHits   uint64 // reads that skipped the tree walk
+	MetaCacheMisses uint64 // reads that walked the tree and filled the cache
+
+	// Verified-block cache events (zero unless EnableBlockCache).
+	DataCacheHits   uint64 // reads served as trusted plaintext, engine bypassed
+	DataCacheMisses uint64 // reads that verified, decrypted, and filled the cache
+}
+
+// Add folds o's counts into s. Per-shard stats merge through this on read,
+// so aggregation never becomes a serialization point.
+func (s *EngineStats) Add(o EngineStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.FreshReads += o.FreshReads
+	s.IntegrityFailures += o.IntegrityFailures
+	s.CorrectedDataBits += o.CorrectedDataBits
+	s.CorrectedMACBits += o.CorrectedMACBits
+	s.SECDEDCorrected += o.SECDEDCorrected
+	s.ScrubPasses += o.ScrubPasses
+	s.ScrubFlagged += o.ScrubFlagged
+	s.GroupReencrypts += o.GroupReencrypts
+	s.RetriedReads += o.RetriedReads
+	s.RetryRecoveries += o.RetryRecoveries
+	s.MetadataRepairs += o.MetadataRepairs
+	s.Quarantined += o.Quarantined
+	s.QuarantineRefusals += o.QuarantineRefusals
+	s.MetaCacheHits += o.MetaCacheHits
+	s.MetaCacheMisses += o.MetaCacheMisses
+	s.DataCacheHits += o.DataCacheHits
+	s.DataCacheMisses += o.DataCacheMisses
 }
 
 // ReadInfo describes one successful read.
@@ -162,7 +203,72 @@ func NewEngine(cfg Config) (*Engine, error) {
 func (e *Engine) Config() Config { return e.cfg }
 
 // Stats returns cumulative event counts.
-func (e *Engine) Stats() EngineStats { return e.stats }
+func (e *Engine) Stats() EngineStats {
+	s := e.stats
+	if e.cc != nil {
+		s.MetaCacheHits = e.cc.hits
+		s.MetaCacheMisses = e.cc.misses
+	}
+	if e.bc != nil {
+		s.DataCacheHits = e.bc.hits
+		s.DataCacheMisses = e.bc.misses
+	}
+	return s
+}
+
+// EnableCounterCache attaches a verified-counter cache with the given
+// power-of-two entry count (see countercache.go). Counter blocks that passed
+// their integrity-tree walk stay trusted until evicted, so resident reads
+// skip the walk — the functional analogue of Table 1's on-chip metadata
+// cache. Call before any traffic; entries must be a power of two.
+func (e *Engine) EnableCounterCache(entries int) error {
+	if e.cfg.DisableEncryption {
+		return nil // no metadata to cache
+	}
+	cc := newCounterCache(entries)
+	if cc == nil {
+		return fmt.Errorf("core: counter cache entries %d not a positive power of two", entries)
+	}
+	e.cc = cc
+	return nil
+}
+
+// EnableBlockCache attaches a verified-block cache with the given
+// power-of-two entry count (see blockcache.go). Decrypted blocks that
+// passed MAC verification stay trusted until evicted, so resident reads
+// bypass the engine entirely — the functional analogue of the on-chip
+// cache slice above the memory controller. Call before any traffic.
+func (e *Engine) EnableBlockCache(entries int) error {
+	if e.cfg.DisableEncryption {
+		return nil // reads are already raw copies
+	}
+	bc := newBlockCache(entries)
+	if bc == nil {
+		return fmt.Errorf("core: block cache entries %d not a positive power of two", entries)
+	}
+	e.bc = bc
+	return nil
+}
+
+// readCached serves blk from the verified-block cache when resident and not
+// quarantined, copying the trusted plaintext into dst. Quarantined blocks
+// always fall through to the verifying path so they are refused loudly.
+func (e *Engine) readCached(blk uint64, dst []byte) bool {
+	if e.bc == nil {
+		return false
+	}
+	if e.quarantine != nil {
+		if _, bad := e.quarantine[blk]; bad {
+			return false
+		}
+	}
+	ent := e.bc.lookup(blk)
+	if ent == nil {
+		return false
+	}
+	copy(dst, ent.pt[:])
+	return true
+}
 
 // SchemeStats returns the counter scheme's event counts (re-encryptions,
 // resets, re-encodes, extensions).
@@ -229,7 +335,13 @@ func (e *Engine) storeBlock(blk uint64, plaintext []byte, counter uint64) error 
 	if err := e.ks.XOR(ct, plaintext, blk*BlockBytes, counter); err != nil {
 		return err
 	}
-	return e.sealBlock(blk, ct, counter)
+	if err := e.sealBlock(blk, ct, counter); err != nil {
+		return err
+	}
+	if e.bc != nil {
+		e.bc.insert(blk, plaintext) // write-allocate: read-after-write hits
+	}
+	return nil
 }
 
 // sealBlock installs the MAC (and, in baseline mode, SEC-DED bytes) for the
@@ -270,10 +382,14 @@ func (e *Engine) metaLeaf(midx uint64) uint64 {
 }
 
 // commitMetadata refreshes the stored counter-block image and the tree path
-// above it.
+// above it. The packed image comes from the trusted scheme state machine, so
+// a resident counter-cache line is refreshed in place (write-back).
 func (e *Engine) commitMetadata(midx uint64) error {
 	img := e.packer.PackMetadata(midx)
 	copy(e.images.Store(midx), img[:])
+	if e.cc != nil {
+		e.cc.update(midx, img[:])
+	}
 	return e.tr.UpdateLeafFast(e.metaLeaf(midx), img[:])
 }
 
@@ -403,12 +519,32 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 		return info, nil
 	}
 
-	// Fetch and freshness-check the counter.
+	// A verified-block cache hit is trusted plaintext: no counter fetch,
+	// no tree walk, no MAC, no decryption.
+	if e.readCached(blk, dst) {
+		return info, nil
+	}
+
+	// Fetch and freshness-check the counter. A counter-cache hit serves
+	// the already-verified image and skips the tree walk.
 	midx := e.scheme.MetadataBlock(blk)
+	if e.cc != nil {
+		if ent := e.cc.lookup(midx); ent != nil {
+			counter, err := ent.counter(e, blk)
+			if err != nil {
+				e.stats.IntegrityFailures++
+				return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error(), Stage: StageCounter}
+			}
+			return e.readVerified(blk, counter, dst)
+		}
+	}
 	img := e.images.Load(midx)
 	if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
 		e.stats.IntegrityFailures++
 		return info, &IntegrityError{Addr: addr, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
+	}
+	if e.cc != nil {
+		e.cc.insert(midx, img)
 	}
 	counter, err := e.decodeCounter(img, blk)
 	if err != nil {
@@ -496,7 +632,19 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 	if err := e.ks.XOR(dst, ct, addr, counter); err != nil {
 		return info, err
 	}
+	if e.bc != nil {
+		e.bc.insert(blk, dst)
+	}
 	return info, nil
+}
+
+// counterSlot returns blk's counter index within its metadata block, for
+// per-slot decode memoization.
+func (e *Engine) counterSlot(blk uint64) int {
+	if e.cfg.Scheme == ctr.Monolithic {
+		return int(blk % ctr.CountersPerMetadataBlock)
+	}
+	return int(blk % uint64(e.scheme.GroupSize()))
 }
 
 // decodeCounter extracts a block's counter from the stored (attacker-

@@ -102,9 +102,14 @@ func (e *Engine) Persist(w io.Writer) (RootDigest, error) {
 	if _, err := e.tr.WriteTo(bw); err != nil {
 		return digest, err
 	}
-	digest = sha256.Sum256(e.tr.TopLevel())
+	digest = e.RootDigest()
 	return digest, bw.Flush()
 }
+
+// RootDigest returns the digest pinning the tree's current trusted top
+// level — what Persist returns, available without serializing the image.
+// The sharded combining layer hashes these per-shard digests into one root.
+func (e *Engine) RootDigest() RootDigest { return sha256.Sum256(e.tr.TopLevel()) }
 
 // Resume rebuilds an engine from a persisted image. cfg must match the
 // persisting configuration (including the key material, which is never

@@ -150,6 +150,9 @@ func (e *Engine) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 
 // quarantineBlock adds blk to the quarantine list.
 func (e *Engine) quarantineBlock(blk uint64) {
+	if e.bc != nil {
+		e.bc.evict(blk) // a poisoned block must never serve cached plaintext
+	}
 	if e.quarantine == nil {
 		e.quarantine = make(map[uint64]struct{})
 	}
@@ -164,6 +167,10 @@ func (e *Engine) Quarantined(addr uint64) bool {
 	_, ok := e.quarantine[addr/BlockBytes]
 	return ok
 }
+
+// QuarantineCount returns the number of quarantined blocks without
+// allocating.
+func (e *Engine) QuarantineCount() int { return len(e.quarantine) }
 
 // QuarantineList returns the quarantined block indices in ascending order.
 func (e *Engine) QuarantineList() []uint64 {
@@ -194,6 +201,14 @@ func (e *Engine) MetaLeaf(midx uint64) uint64 { return e.metaLeaf(midx) }
 // flushing clean copies over a corrupted DRAM line. Only trusted sources
 // feed the rebuild, so attacker-modified bytes are never re-authenticated.
 func (e *Engine) repairMetadata() error {
+	// The cache may hold lines verified against the pre-repair tree; start
+	// cold so every post-repair read re-verifies against the rebuilt one.
+	if e.cc != nil {
+		e.cc.flush()
+	}
+	if e.bc != nil {
+		e.bc.flush()
+	}
 	e.images.forEach(func(midx uint64, img []byte) {
 		packed := e.packer.PackMetadata(midx)
 		copy(img, packed[:])

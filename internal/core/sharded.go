@@ -1,0 +1,561 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"authmem/internal/ctr"
+	"authmem/internal/tree"
+)
+
+// Sharded engine: the protected region partitioned into N independent
+// shards for true parallel reads and writes.
+//
+// The paper's integrity machinery partitions naturally: counter groups are
+// 4KB-aligned, the Bonsai Merkle tree covers counter blocks, and nothing in
+// the verification of one block-group ever touches another's state. A shard
+// therefore owns a contiguous 1/N slice of the block address space and
+// everything below it — ciphertext arena, ECC/MAC lanes, counter scheme
+// state, quarantine set, verified-counter cache, and its own Merkle subtree
+// whose trusted top level is that shard's SRAM. A tiny combining layer
+// (internal/tree.CombineRoots) hashes the N subtree roots into one trusted
+// digest for persist/resume, so the whole memory still pins to a single
+// root while no per-access path crosses a shard boundary.
+//
+// Concurrency model: one mutex per shard. Single-block operations lock only
+// their shard; multi-block spans are split at shard boundaries and the
+// segments run concurrently, each under its own shard lock. Statistics are
+// kept per shard and merged on read, so observability never becomes the
+// serialization point the seed's single global lock was.
+//
+// Isolation is cryptographic, not just structural: each shard's MAC and
+// encryption keys are derived from the master key material and the shard's
+// position, so ciphertext or metadata relocated between shards can never
+// verify, and identical local addresses in different shards never share a
+// keystream pad.
+
+// shardCounterCacheEntries is each shard's verified-counter cache size: 512
+// entries x 64B images = Table 1's 32KB metadata cache budget, per shard.
+// Private per-shard caches are an architectural property of sharding — the
+// total trusted cache grows linearly with shard count, like per-core L1s.
+const shardCounterCacheEntries = 512
+
+// shardBlockCacheEntries is each shard's verified-block cache size: 32K
+// entries x 64B plaintext = a 2MB on-chip cache slice per shard, the data
+// half of the trust boundary (blockcache.go). Like per-core LLC slices, the
+// aggregate trusted plaintext capacity grows linearly with shard count.
+const shardBlockCacheEntries = 32768
+
+// shardGroupBytes is the finest partition boundary: one 4KB block-group.
+// Counter groups must never straddle shards.
+const shardGroupBytes = ctr.GroupBlocks * BlockBytes
+
+// engineShard is one shard: an ordinary Engine over a 1/N slice of the
+// region, guarded by its own lock.
+type engineShard struct {
+	mu  sync.Mutex
+	eng *Engine
+	// base is the shard's first byte address in the global space.
+	base uint64
+}
+
+// ShardedEngine is a shard-parallel authenticated encrypted memory.
+type ShardedEngine struct {
+	cfg        Config // global configuration (full region)
+	shards     []*engineShard
+	shardBytes uint64 // bytes per shard
+}
+
+// ShardKeyMaterial derives shard idx's 40-byte key material from the master
+// material. One shard passes the master through unchanged, so a 1-shard
+// engine is bit-compatible with the monolithic one (including its persisted
+// images); with more shards each gets an independent key bound to both the
+// shard count and its position.
+func ShardKeyMaterial(master []byte, shards, idx int) []byte {
+	if shards == 1 {
+		return master
+	}
+	derive := func(salt byte) [sha256.Size]byte {
+		h := sha256.New()
+		h.Write([]byte("authmem/shard-key/v1\x00"))
+		h.Write(master)
+		var meta [9]byte
+		binary.LittleEndian.PutUint32(meta[0:], uint32(shards))
+		binary.LittleEndian.PutUint32(meta[4:], uint32(idx))
+		meta[8] = salt
+		h.Write(meta[:])
+		var out [sha256.Size]byte
+		copy(out[:], h.Sum(nil))
+		return out
+	}
+	a, b := derive(0), derive(1)
+	key := make([]byte, KeyMaterialLen)
+	n := copy(key, a[:])
+	copy(key[n:], b[:KeyMaterialLen-n])
+	return key
+}
+
+// shardConfig returns shard idx's engine configuration.
+func shardConfig(cfg Config, shards, idx int) Config {
+	sc := cfg
+	sc.RegionBytes = cfg.RegionBytes / uint64(shards)
+	if !cfg.DisableEncryption {
+		sc.KeyMaterial = ShardKeyMaterial(cfg.KeyMaterial, shards, idx)
+	}
+	return sc
+}
+
+// ValidateShards checks that cfg can be split into the given shard count.
+func ValidateShards(cfg Config, shards int) error {
+	switch {
+	case shards < 1:
+		return fmt.Errorf("core: shard count %d must be at least 1", shards)
+	case shards&(shards-1) != 0:
+		return fmt.Errorf("core: shard count %d not a power of two", shards)
+	case cfg.RegionBytes%uint64(shards) != 0:
+		return fmt.Errorf("core: region %d bytes not divisible into %d shards", cfg.RegionBytes, shards)
+	case (cfg.RegionBytes/uint64(shards))%shardGroupBytes != 0:
+		return fmt.Errorf("core: shard size %d not a multiple of the %dB block-group", cfg.RegionBytes/uint64(shards), shardGroupBytes)
+	// Check the master material before deriving per-shard keys: derivation
+	// would turn any length — including an unset key — into valid-looking
+	// 40-byte shard keys.
+	case !cfg.DisableEncryption && len(cfg.KeyMaterial) != KeyMaterialLen:
+		return fmt.Errorf("core: key material must be %d bytes, got %d", KeyMaterialLen, len(cfg.KeyMaterial))
+	}
+	return shardConfig(cfg, shards, 0).Validate()
+}
+
+// NewShardedEngine builds a sharded engine with the given power-of-two
+// shard count. Each shard gets a verified-counter cache (Table 1's metadata
+// cache budget, per shard).
+func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
+	if err := ValidateShards(cfg, shards); err != nil {
+		return nil, err
+	}
+	s := &ShardedEngine{
+		cfg:        cfg,
+		shards:     make([]*engineShard, shards),
+		shardBytes: cfg.RegionBytes / uint64(shards),
+	}
+	for i := range s.shards {
+		eng, err := NewEngine(shardConfig(cfg, shards, i))
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.EnableCounterCache(shardCounterCacheEntries); err != nil {
+			return nil, err
+		}
+		if err := eng.EnableBlockCache(shardBlockCacheEntries); err != nil {
+			return nil, err
+		}
+		s.shards[i] = &engineShard{eng: eng, base: uint64(i) * s.shardBytes}
+	}
+	return s, nil
+}
+
+// Config returns the global (whole-region) configuration.
+func (s *ShardedEngine) Config() Config { return s.cfg }
+
+// Shards returns the shard count.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// ShardBytes returns each shard's region size.
+func (s *ShardedEngine) ShardBytes() uint64 { return s.shardBytes }
+
+// ShardOf returns the index of the shard owning addr.
+func (s *ShardedEngine) ShardOf(addr uint64) int { return int(addr / s.shardBytes) }
+
+// checkAddr validates a global address.
+func (s *ShardedEngine) checkAddr(addr uint64) error {
+	if addr%BlockBytes != 0 {
+		return fmt.Errorf("core: address %#x not %d-byte aligned", addr, BlockBytes)
+	}
+	if addr >= s.cfg.RegionBytes {
+		return fmt.Errorf("core: address %#x outside %d-byte region", addr, s.cfg.RegionBytes)
+	}
+	return nil
+}
+
+// route maps a checked global address to its shard and local address.
+func (s *ShardedEngine) route(addr uint64) (*engineShard, uint64) {
+	sh := s.shards[addr/s.shardBytes]
+	return sh, addr - sh.base
+}
+
+// offsetErr rebases shard-local error addresses into the global address
+// space. Integrity and quarantine errors carry the failing address; other
+// errors pass through (the sharded layer pre-validates addresses, so
+// engine-level structural errors cannot carry local addresses).
+func offsetErr(err error, base uint64) error {
+	if err == nil || base == 0 {
+		return err
+	}
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		cp := *ie
+		cp.Addr += base
+		return &cp
+	}
+	var qe *QuarantineError
+	if errors.As(err, &qe) {
+		cp := *qe
+		cp.Addr += base
+		return &cp
+	}
+	return err
+}
+
+// Write encrypts and stores one block, locking only the owning shard.
+func (s *ShardedEngine) Write(addr uint64, plaintext []byte) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	err := sh.eng.Write(local, plaintext)
+	sh.mu.Unlock()
+	return offsetErr(err, sh.base)
+}
+
+// Read verifies and decrypts one block, locking only the owning shard.
+func (s *ShardedEngine) Read(addr uint64, dst []byte) (ReadInfo, error) {
+	if err := s.checkAddr(addr); err != nil {
+		return ReadInfo{}, err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	info, err := sh.eng.Read(local, dst)
+	sh.mu.Unlock()
+	return info, offsetErr(err, sh.base)
+}
+
+// ReadRecover reads with the recovery ladder, locking only the owning
+// shard. Metadata repair triggered by the ladder stays shard-local.
+func (s *ShardedEngine) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
+	if err := s.checkAddr(addr); err != nil {
+		return RecoverInfo{}, err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	info, err := sh.eng.ReadRecover(local, dst)
+	sh.mu.Unlock()
+	return info, offsetErr(err, sh.base)
+}
+
+// segment is one shard-local slice of a multi-block span.
+type segment struct {
+	sh    *engineShard
+	local uint64 // shard-local start address
+	off   int    // byte offset into the caller's buffer
+	n     int    // byte length
+}
+
+// segments splits a checked global span at shard boundaries.
+func (s *ShardedEngine) segments(addr uint64, n int) []segment {
+	first := addr / s.shardBytes
+	last := (addr + uint64(n) - 1) / s.shardBytes
+	segs := make([]segment, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		sh := s.shards[i]
+		start := max(addr, sh.base)
+		end := min(addr+uint64(n), sh.base+s.shardBytes)
+		segs = append(segs, segment{
+			sh:    sh,
+			local: start - sh.base,
+			off:   int(start - addr),
+			n:     int(end - start),
+		})
+	}
+	return segs
+}
+
+func (s *ShardedEngine) checkSpan(addr uint64, n int, what string) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	if n == 0 || n%BlockBytes != 0 {
+		return fmt.Errorf("core: %s length %d not a positive multiple of %d", what, n, BlockBytes)
+	}
+	if addr+uint64(n) > s.cfg.RegionBytes {
+		return fmt.Errorf("core: %s span [%#x, %#x) outside %d-byte region", what, addr, addr+uint64(n), s.cfg.RegionBytes)
+	}
+	return nil
+}
+
+// spanFan runs one operation per shard segment, concurrently when the span
+// crosses shards, and returns the lowest-addressed failure. Unlike the
+// monolithic batched path, segments in *other* shards may have completed
+// after the failing one — span atomicity is per shard, which is the honest
+// semantics of independent memory channels.
+func (s *ShardedEngine) spanFan(segs []segment, op func(sh *engineShard, local uint64, off, n int) error) error {
+	if len(segs) == 1 {
+		g := segs[0]
+		g.sh.mu.Lock()
+		err := op(g.sh, g.local, g.off, g.n)
+		g.sh.mu.Unlock()
+		return offsetErr(err, g.sh.base)
+	}
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	for i, g := range segs {
+		wg.Add(1)
+		go func(i int, g segment) {
+			defer wg.Done()
+			g.sh.mu.Lock()
+			err := op(g.sh, g.local, g.off, g.n)
+			g.sh.mu.Unlock()
+			errs[i] = offsetErr(err, g.sh.base)
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBlocks verifies and decrypts a contiguous span, fanning shard
+// segments out concurrently. The returned error is the lowest-addressed
+// failure; see spanFan for cross-shard atomicity semantics.
+func (s *ShardedEngine) ReadBlocks(addr uint64, dst []byte) error {
+	if err := s.checkSpan(addr, len(dst), "read"); err != nil {
+		return err
+	}
+	return s.spanFan(s.segments(addr, len(dst)), func(sh *engineShard, local uint64, off, n int) error {
+		return sh.eng.ReadBlocks(local, dst[off:off+n])
+	})
+}
+
+// WriteBlocks encrypts and stores a contiguous span, fanning shard segments
+// out concurrently.
+func (s *ShardedEngine) WriteBlocks(addr uint64, src []byte) error {
+	if err := s.checkSpan(addr, len(src), "write"); err != nil {
+		return err
+	}
+	return s.spanFan(s.segments(addr, len(src)), func(sh *engineShard, local uint64, off, n int) error {
+		return sh.eng.WriteBlocks(local, src[off:off+n])
+	})
+}
+
+// Stats merges per-shard counters on read. No shared hot-path state exists,
+// so observation costs the observer, not the traffic.
+func (s *ShardedEngine) Stats() EngineStats {
+	var total EngineStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total.Add(sh.eng.Stats())
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SchemeStats merges per-shard counter-scheme events.
+func (s *ShardedEngine) SchemeStats() ctr.Stats {
+	var total ctr.Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.eng.SchemeStats()
+		sh.mu.Unlock()
+		total.Writes += st.Writes
+		total.Resets += st.Resets
+		total.Reencodes += st.Reencodes
+		total.Extensions += st.Extensions
+		total.Reencryptions += st.Reencryptions
+		total.ReencryptedBlocks += st.ReencryptedBlocks
+	}
+	return total
+}
+
+// SetRecoveryPolicy applies the policy to every shard.
+func (s *ShardedEngine) SetRecoveryPolicy(p RecoveryPolicy) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.eng.SetRecoveryPolicy(p)
+		sh.mu.Unlock()
+	}
+}
+
+// RecoveryPolicy reports the policy in force (identical across shards).
+func (s *ShardedEngine) RecoveryPolicy() RecoveryPolicy {
+	sh := s.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.RecoveryPolicy()
+}
+
+// SetRetryHook registers f, invoked with global block indices.
+func (s *ShardedEngine) SetRetryHook(f func(blk uint64)) {
+	for _, sh := range s.shards {
+		base := sh.base / BlockBytes
+		sh.mu.Lock()
+		if f == nil {
+			sh.eng.SetRetryHook(nil)
+		} else {
+			sh.eng.SetRetryHook(func(blk uint64) { f(base + blk) })
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Quarantined reports whether the block at addr is quarantined.
+func (s *ShardedEngine) Quarantined(addr uint64) bool {
+	if s.checkAddr(addr) != nil {
+		return false
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Quarantined(local)
+}
+
+// QuarantineCount returns the total quarantined blocks without allocating.
+func (s *ShardedEngine) QuarantineCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.eng.QuarantineCount()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// QuarantineList returns global quarantined block indices in ascending
+// order, or nil (no allocation) when the quarantine is empty.
+func (s *ShardedEngine) QuarantineList() []uint64 {
+	var out []uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		local := sh.eng.QuarantineList()
+		base := sh.base / BlockBytes
+		if len(local) > 0 {
+			if out == nil {
+				out = make([]uint64, 0, len(local))
+			}
+			for _, blk := range local {
+				out = append(out, base+blk) // shard order == ascending global order
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Scrub runs one patrol-scrub pass shard by shard.
+func (s *ShardedEngine) Scrub() (ScrubReport, error) {
+	var total ScrubReport
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		r, err := sh.eng.Scrub()
+		sh.mu.Unlock()
+		if err != nil {
+			return total, err
+		}
+		total.BlocksScanned += r.BlocksScanned
+		total.ParityFlagged += r.ParityFlagged
+		total.Corrected += r.Corrected
+		total.Uncorrectable += r.Uncorrectable
+	}
+	return total, nil
+}
+
+// ParallelScrub scrubs all shards concurrently — the shard fan-out is the
+// parallelism, so the workers argument of the monolithic engine is not
+// needed here and each shard's pass stays serial under its own lock.
+func (s *ShardedEngine) ParallelScrub() (ScrubReport, error) {
+	reports := make([]ScrubReport, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *engineShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			reports[i], errs[i] = sh.eng.Scrub()
+			sh.mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	var total ScrubReport
+	for i := range reports {
+		if errs[i] != nil {
+			return total, errs[i]
+		}
+		total.BlocksScanned += reports[i].BlocksScanned
+		total.ParityFlagged += reports[i].ParityFlagged
+		total.Corrected += reports[i].Corrected
+		total.Uncorrectable += reports[i].Uncorrectable
+	}
+	return total, nil
+}
+
+// WithShard locks shard i and passes its engine to fn — the sharded
+// analogue of SyncMemory.Locked, used by attack experiments and the fault
+// campaign to reach a shard's tamper surface without racing traffic.
+func (s *ShardedEngine) WithShard(i int, fn func(eng *Engine)) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.eng)
+}
+
+// TamperCiphertext flips a stored ciphertext bit (global address).
+func (s *ShardedEngine) TamperCiphertext(addr uint64, bit int) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.TamperCiphertext(local, bit)
+}
+
+// TamperECCLane flips an ECC-lane bit (global address, MACInECC only).
+func (s *ShardedEngine) TamperECCLane(addr uint64, bit int) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.TamperECCLane(local, bit)
+}
+
+// TamperInlineTag flips a stored MAC-tag bit (global address, MACInline).
+func (s *ShardedEngine) TamperInlineTag(addr uint64, bit int) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.TamperInlineTag(local, bit)
+}
+
+// TamperCounterForAddr flips one bit of the counter block covering the
+// global address addr.
+func (s *ShardedEngine) TamperCounterForAddr(addr uint64, bit int) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.TamperCounterBlock(sh.eng.MetadataIndex(local), bit)
+}
+
+// RootDigest returns the combining layer's trusted digest over all shard
+// subtree roots. All shards are locked for a consistent snapshot.
+func (s *ShardedEngine) RootDigest() RootDigest {
+	roots := make([][sha256.Size]byte, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		roots[i] = sh.eng.RootDigest()
+		sh.mu.Unlock()
+	}
+	return tree.CombineRoots(roots)
+}

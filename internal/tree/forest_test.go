@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"authmem/internal/mac"
+)
+
+func forestKey(t *testing.T) *mac.Key {
+	t.Helper()
+	k, err := mac.NewKey([]byte("0123456789abcdefghijklmn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func buildForestTree(t *testing.T, key *mac.Key, leaves uint64) *Tree {
+	t.Helper()
+	tr, err := New(key, leaves, 3<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]byte, NodeBytes)
+	if err := tr.Rebuild(func(uint64) []byte { return zero }); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCombineRootsSingleShardPassthrough(t *testing.T) {
+	key := forestKey(t)
+	tr := buildForestTree(t, key, 64)
+	shardRoot := sha256.Sum256(tr.TopLevel())
+	if got := CombineRoots([][sha256.Size]byte{shardRoot}); got != shardRoot {
+		t.Fatal("single-shard combined root must equal the shard root (v1 compatibility)")
+	}
+}
+
+func TestForestRootBindsEveryShard(t *testing.T) {
+	key := forestKey(t)
+	trees := []*Tree{buildForestTree(t, key, 64), buildForestTree(t, key, 64), buildForestTree(t, key, 64), buildForestTree(t, key, 64)}
+	f, err := NewForest(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.Root()
+
+	// A leaf update in any single shard must change the combined root.
+	img := make([]byte, NodeBytes)
+	img[0] = 0xAB
+	for i := 0; i < f.Shards(); i++ {
+		if err := trees[i].UpdateLeafFast(uint64(i*3), img); err != nil {
+			t.Fatal(err)
+		}
+		next := f.Root()
+		if next == base {
+			t.Fatalf("shard %d update did not change the combined root", i)
+		}
+		base = next
+	}
+}
+
+func TestForestRootDependsOnShardOrder(t *testing.T) {
+	key := forestKey(t)
+	a, b := buildForestTree(t, key, 64), buildForestTree(t, key, 128)
+	f1, _ := NewForest([]*Tree{a, b})
+	f2, _ := NewForest([]*Tree{b, a})
+	if f1.Root() == f2.Root() {
+		t.Fatal("swapping shard order must change the combined root")
+	}
+}
+
+func TestForestMultiShardRootDiffersFromAnyShardRoot(t *testing.T) {
+	key := forestKey(t)
+	trees := []*Tree{buildForestTree(t, key, 64), buildForestTree(t, key, 64)}
+	f, _ := NewForest(trees)
+	root := f.Root()
+	for i := range trees {
+		if root == f.ShardRoot(i) {
+			t.Fatalf("combined root collides with shard %d root (missing domain separation)", i)
+		}
+	}
+}
+
+func TestNewForestRejectsEmptyAndNil(t *testing.T) {
+	if _, err := NewForest(nil); err == nil {
+		t.Fatal("empty forest accepted")
+	}
+	if _, err := NewForest([]*Tree{nil}); err == nil {
+		t.Fatal("nil subtree accepted")
+	}
+}

@@ -123,12 +123,13 @@ func TestSyncMemoryQuarantineRace(t *testing.T) {
 
 	// Single-threaded setup phase: corrupt the victim beyond any budget and
 	// drive it into quarantine.
-	raw := m.Unwrap()
-	for bit := 0; bit < 41; bit++ {
-		if err := raw.FlipDataBit(victim, bit*12%512); err != nil {
-			t.Fatal(err)
+	m.Locked(func(raw *Memory) {
+		for bit := 0; bit < 41; bit++ {
+			if err := raw.FlipDataBit(victim, bit*12%512); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
+	})
 	if _, err := m.ReadRecover(victim, buf); err == nil {
 		t.Fatal("corrupted victim read succeeded")
 	}

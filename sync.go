@@ -5,10 +5,11 @@ import (
 	"sync"
 )
 
-// SyncMemory wraps a Memory with a mutex so it can be shared between
-// goroutines. The underlying hardware being modeled is a single memory
-// controller, so serializing accesses is the honest concurrency semantics —
-// this wrapper provides safety, not parallelism.
+// SyncMemory wraps a Memory with a single mutex so it can be shared between
+// goroutines, modeling one memory controller that serializes every access.
+// It provides safety with zero routing overhead; for parallel access across
+// concurrent goroutines use ShardedMemory, which partitions the region into
+// independently locked shards.
 type SyncMemory struct {
 	mu  sync.Mutex
 	mem *Memory
@@ -130,7 +131,14 @@ func (s *SyncMemory) Stats() EngineStats {
 	return s.mem.Stats()
 }
 
-// Unwrap returns the underlying Memory for single-threaded phases (attack
-// experiments, counter stats). The caller must ensure no concurrent use
-// while holding it.
-func (s *SyncMemory) Unwrap() *Memory { return s.mem }
+// Locked runs fn with the memory lock held, passing the underlying Memory.
+// This is the escape hatch to the full Memory surface (attack experiments,
+// counter stats, tamper APIs): unlike a raw unwrap, the inner Memory is only
+// ever reachable under the lock, so a concurrent reader cannot race the
+// callback. fn must not retain the *Memory after returning and must not call
+// back into the SyncMemory (the lock is not reentrant).
+func (s *SyncMemory) Locked(fn func(m *Memory)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.mem)
+}

@@ -80,8 +80,15 @@ func TestSyncMemoryDelegation(t *testing.T) {
 	if img.Len() == 0 {
 		t.Fatal("empty image")
 	}
-	if m.Unwrap() == nil {
-		t.Fatal("Unwrap returned nil")
+	ran := false
+	m.Locked(func(inner *Memory) {
+		if inner == nil {
+			t.Fatal("Locked passed a nil Memory")
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("Locked did not invoke the callback")
 	}
 }
 
