@@ -269,6 +269,32 @@ func (m *Memory) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 	return m.eng.ReadRecover(addr, dst)
 }
 
+// EnableWritePipeline turns on the deferred-Merkle write pipeline: writes
+// stage their counter-block image in trusted state and mark the tree leaf
+// dirty instead of rehashing its path, and dirty leaves are flushed in
+// batches — once per epoch, however many writes they combined. maxDirty
+// bounds the dirty set (<= 0 selects the default); the pipeline flushes
+// itself at that bound, on a cold read of a dirty leaf, and before any
+// state leaves the trust boundary (Persist, RootDigest, Scrub). A faulted
+// dirty leaf is detected, never laundered: the tree is only ever fed images
+// re-packed from the trusted counter state machine.
+func (m *Memory) EnableWritePipeline(maxDirty int) error {
+	return m.eng.EnableWritePipeline(maxDirty)
+}
+
+// Flush forces any deferred Merkle maintenance to land now, leaving the
+// integrity tree consistent with every accepted write. A no-op when the
+// write pipeline is off or the dirty set is empty.
+func (m *Memory) Flush() error { return m.eng.Flush() }
+
+// EnableParallelReencrypt fans counter-overflow group re-encryptions out
+// across a pool of workers (>= 2; lower disables the pool). The result is
+// bit-identical to the serial sweep. Not available with ClassicDataTree,
+// whose per-block seal updates shared tree state.
+func (m *Memory) EnableParallelReencrypt(workers int) error {
+	return m.eng.EnableParallelReencrypt(workers)
+}
+
 // SetRecoveryPolicy replaces the recovery policy used by ReadRecover.
 func (m *Memory) SetRecoveryPolicy(p RecoveryPolicy) { m.eng.SetRecoveryPolicy(p) }
 

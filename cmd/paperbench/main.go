@@ -36,6 +36,9 @@ func main() {
 	hotpathOut := flag.String("hotpath-out", "BENCH_hotpath.json", "output path for -hotpath")
 	parallel := flag.Bool("parallel", false, "run the sharded-engine parallel throughput sweep and write the tracked JSON baseline")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel")
+	writepath := flag.Bool("writepath", false, "run the write-pipeline benchmarks (deferred vs eager Merkle maintenance) and write the tracked JSON baseline")
+	writepathOut := flag.String("writepath-out", "BENCH_writepath.json", "output path for -writepath")
+	quick := flag.Bool("quick", false, "shrink the -writepath region for a fast smoke run")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
 	writebacks := flag.Uint64("writebacks", 16_000_000, "Table 2: writeback stream length")
@@ -46,19 +49,22 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel = true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath = true, true, true, true, true, true, true
 	}
 	if *hotpath {
 		runHotpath(*hotpathOut)
 	}
 	if *parallel {
 		runParallel(*parallelOut)
+	}
+	if *writepath {
+		runWritepath(*writepathOut, *quick)
 	}
 	if *fig1 {
 		runFig1()

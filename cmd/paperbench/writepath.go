@@ -1,0 +1,146 @@
+package main
+
+// -writepath: tracked write-path benchmark. Compares the deferred-Merkle
+// write pipeline (dirty-leaf write combining + epoch flush) against the
+// eager baseline, which recomputes the tree path inside every Write. The
+// baseline columns are measured live in the same run — same machine, same
+// shapes — so the speedup column is always honest, and the JSON matches the
+// BENCH_hotpath.json format so diffs review the same way.
+//
+// The region is paper-sized (512MB) by default: the speedup is the ratio of
+// tree-path MACs saved per write, so it needs the real tree depth, not a
+// test-sized stub. -quick shrinks the region for CI smoke runs.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"authmem"
+	"authmem/internal/stats"
+)
+
+func runWritepath(outPath string, quick bool) {
+	fmt.Println("=== Write path: deferred Merkle maintenance vs eager baseline ===")
+	regionBytes := uint64(512 << 20)
+	if quick {
+		regionBytes = 8 << 20
+	}
+	key := benchKeyMaterial()
+	rep := hotReport{
+		Note: "Baseline columns are the eager write path (tree path recomputed " +
+			"inside every Write), measured live in the same run over the same " +
+			fmt.Sprintf("%dMB region; the main columns run the write pipeline.", regionBytes>>20),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	newMem := func(scheme authmem.CounterScheme, pipeline bool) *authmem.Memory {
+		cfg := authmem.DefaultConfig(regionBytes)
+		cfg.Scheme = scheme
+		cfg.Key = key
+		m, err := authmem.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if pipeline {
+			if err := m.EnableWritePipeline(0); err != nil {
+				fatal(err)
+			}
+		}
+		return m
+	}
+
+	data := make([]byte, authmem.BlockSize)
+	rand.New(rand.NewSource(3)).Read(data)
+	span := make([]byte, 64*authmem.BlockSize)
+	rand.New(rand.NewSource(4)).Read(span)
+
+	// measure runs one shape against one memory and returns the result.
+	measure := func(m *authmem.Memory, op func(m *authmem.Memory, i int) error) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(m, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// add benchmarks one workload twice — eagerOp against an eager memory,
+	// pipedOp against a pipelined one — and records the pipelined numbers
+	// with the eager run as the baseline columns. Both ops must move the
+	// same number of bytes per iteration for the speedup to mean anything.
+	add := func(name string, scheme authmem.CounterScheme,
+		eagerOp, pipedOp func(m *authmem.Memory, i int) error) {
+		eager := measure(newMem(scheme, false), eagerOp)
+		piped := measure(newMem(scheme, true), pipedOp)
+		e := hotEntry{
+			Name:         name,
+			NsPerOp:      float64(piped.NsPerOp()),
+			AllocsPerOp:  piped.AllocsPerOp(),
+			BytesPerOp:   piped.AllocedBytesPerOp(),
+			BaselineNs:   float64(eager.NsPerOp()),
+			BaselineAllo: eager.AllocsPerOp(),
+		}
+		if e.NsPerOp > 0 {
+			e.Speedup = e.BaselineNs / e.NsPerOp
+		}
+		rep.Entries = append(rep.Entries, e)
+		fmt.Printf("  %-32s %10.1f ns/op  %2d allocs/op  (eager %10.1f ns/op, %5.2fx)\n",
+			name, e.NsPerOp, e.AllocsPerOp, e.BaselineNs, e.Speedup)
+	}
+
+	// Rewrite-hot-group: one op rewrites the hot 4KB group. The eager
+	// baseline is what a caller without the combiner does — 64 per-block
+	// writes, each paying a full root-to-leaf tree recompute. The pipeline
+	// takes the combining write path: seal work coalesced into one keystream
+	// pad batch per group, one dirty-leaf mark, zero tree work until the
+	// epoch flush. This is the pipeline's headline shape.
+	rewriteGroup := func(m *authmem.Memory, i int) error {
+		for j := uint64(0); j < 64; j++ {
+			if err := m.Write(j*authmem.BlockSize, span[j*authmem.BlockSize:(j+1)*authmem.BlockSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rewriteGroupSpan := func(m *authmem.Memory, i int) error {
+		return m.WriteBlocks(0, span)
+	}
+	add("writepath.hotgroup/delta-macecc", authmem.DeltaEncoding, rewriteGroup, rewriteGroupSpan)
+	// Per-block view of the same leaf: a single hot-group Write through the
+	// pipeline skips only the tree walk (the seal is irreducible), and the
+	// combined-write fast path must not allocate. Monolithic never
+	// re-encrypts, so the fast path is all this shape measures.
+	hotWrite := func(m *authmem.Memory, i int) error {
+		return m.Write(uint64(i%64)*authmem.BlockSize, data)
+	}
+	add("writepath.hotblock/delta-macecc", authmem.DeltaEncoding, hotWrite, hotWrite)
+	add("writepath.hotblock/mono-macecc", authmem.Monolithic, hotWrite, hotWrite)
+	// Write-burst: a sequential store stream over a 4MB window. Each leaf
+	// combines 64 consecutive writes, and full leaves flush in batched
+	// epochs that share interior-node rehashes.
+	burstBlocks := uint64(1 << 16)
+	if burstBlocks*authmem.BlockSize > regionBytes {
+		burstBlocks = regionBytes / authmem.BlockSize
+	}
+	burst := func(m *authmem.Memory, i int) error {
+		return m.Write(uint64(i)%burstBlocks*authmem.BlockSize, data)
+	}
+	add("writepath.burst/delta-macecc", authmem.DeltaEncoding, burst, burst)
+	// Span-write: 64-block WriteBlocks spans rotating over 16 groups. The
+	// eager span path already commits each leaf once per span, so this
+	// measures what deferral adds on top of batching.
+	spanWrite := func(m *authmem.Memory, i int) error {
+		return m.WriteBlocks(uint64(i%16)*uint64(len(span)), span)
+	}
+	add("writepath.span/delta-macecc", authmem.DeltaEncoding, spanWrite, spanWrite)
+
+	if err := stats.WriteJSON(outPath, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

@@ -112,10 +112,16 @@ func runPhase(cfg Config, ecfg core.Config, plane Plane) (*phaseRun, error) {
 }
 
 // attach wires the phase's fault model into an engine (fresh or resumed),
-// banking the retiring engine's counters first.
+// banking the retiring engine's counters first. Every campaign engine runs
+// the deferred-Merkle write pipeline: the campaign's job includes proving
+// that faults landing in the write-to-flush window are detected, never
+// laundered into the tree.
 func (p *phaseRun) attach(eng *core.Engine) {
 	if p.eng != nil {
 		p.accStats = p.stats()
+	}
+	if err := eng.EnableWritePipeline(0); err != nil {
+		panic(fmt.Sprintf("campaign: enable write pipeline: %v", err))
 	}
 	p.eng = eng
 	eng.SetRetryHook(p.onRetry)
@@ -247,6 +253,20 @@ func (p *phaseRun) doWrite() error {
 	if _, ok := p.writtenSet[blk]; !ok {
 		p.writtenSet[blk] = struct{}{}
 		p.written = append(p.written, blk)
+	}
+	// Dirty-leaf strike (mixed plane): the write just staged this block's
+	// counter image, and with the pipeline on its tree leaf is dirty until
+	// the next flush. Hit the staged image *inside* that window — the one
+	// state the integrity tree does not yet cover — so the campaign proves
+	// deferred maintenance detects write-to-flush faults instead of
+	// laundering them on flush.
+	if p.plane == PlaneMixed && p.eng.DirtyLeaves() > 0 && p.rng.Float64() < p.cfg.FaultRate {
+		midx := p.eng.MetadataIndex(blk * core.BlockBytes)
+		if err := p.eng.TamperCounterBlock(midx, p.rng.Intn(core.BlockBytes*8)); err != nil {
+			panic(fmt.Sprintf("campaign: dirty-leaf strike midx %d: %v", midx, err))
+		}
+		p.faultEvents++
+		p.bitsFlipped++
 	}
 	return nil
 }

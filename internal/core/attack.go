@@ -238,6 +238,11 @@ func (e *Engine) Scrub() (ScrubReport, error) {
 	if err := e.checkScrubbable(); err != nil {
 		return ScrubReport{}, err
 	}
+	// The correction path decodes counters from stored images; flush so
+	// dirty leaves are written back before they are consulted.
+	if err := e.Flush(); err != nil {
+		return ScrubReport{}, err
+	}
 	e.stats.ScrubPasses++
 	var r ScrubReport
 	var flagged []uint64
@@ -260,6 +265,9 @@ func (e *Engine) Scrub() (ScrubReport, error) {
 // exactly as Scrub does, since correction writes repaired bits back.
 func (e *Engine) ParallelScrub(workers int) (ScrubReport, error) {
 	if err := e.checkScrubbable(); err != nil {
+		return ScrubReport{}, err
+	}
+	if err := e.Flush(); err != nil { // see Scrub
 		return ScrubReport{}, err
 	}
 	if workers <= 0 {

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"authmem/internal/ctr"
+)
 
 // Batched multi-block read/write paths. A span of contiguous blocks shares
 // counter metadata: one counter block covers ctr.CountersPerMetadataBlock
@@ -65,10 +69,11 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 				}
 			}
 			if img == nil {
-				img = e.images.Load(midx)
-				if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
+				var verr error
+				img, verr = e.loadVerifiedImage(blk*BlockBytes, midx)
+				if verr != nil {
 					e.stats.IntegrityFailures++
-					return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
+					return verr
 				}
 				if e.cc != nil {
 					e.cc.insert(midx, img)
@@ -89,9 +94,11 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 }
 
 // WriteBlocks encrypts and stores len(src)/BlockBytes contiguous blocks
-// starting at addr. Each touched counter block is committed (image +
-// integrity-tree path) once, after the last write it covers, instead of
-// once per block.
+// starting at addr. The span is carved into chunks covered by one counter-
+// metadata block each; a chunk touches all its counters first (so a
+// mid-chunk overflow sweep merges the whole in-flight span), seals runs of
+// equal counters with one batched keystream sweep per run, and commits —
+// or, with the write pipeline, defers — its metadata exactly once.
 func (e *Engine) WriteBlocks(addr uint64, src []byte) error {
 	if err := e.checkSpan(addr, len(src), "write"); err != nil {
 		return err
@@ -107,24 +114,88 @@ func (e *Engine) WriteBlocks(addr uint64, src []byte) error {
 		return nil
 	}
 
-	curMidx := ^uint64(0)
-	for j := uint64(0); j < n; j++ {
-		blk := first + j
-		e.stats.Writes++
+	for done := uint64(0); done < n; {
+		blk := first + done
 		midx := e.scheme.MetadataBlock(blk)
-		if midx != curMidx && curMidx != ^uint64(0) {
-			if err := e.commitMetadata(curMidx); err != nil {
-				return err
-			}
+		run := uint64(1)
+		for done+run < n && e.scheme.MetadataBlock(blk+run) == midx {
+			run++
 		}
-		curMidx = midx
-
-		e.pendingWrite, e.hasPendingWrite = blk, true
-		out := e.scheme.Touch(blk)
-		e.hasPendingWrite = false
-		if err := e.storeBlock(blk, src[j*BlockBytes:(j+1)*BlockBytes], out.Counter); err != nil {
+		if err := e.writeChunk(blk, midx, src[done*BlockBytes:(done+run)*BlockBytes]); err != nil {
 			return err
 		}
+		done += run
 	}
-	return e.commitMetadata(curMidx)
+	return nil
+}
+
+// writeChunk writes a contiguous span of blocks covered by a single
+// counter-metadata block. A chunk never exceeds ctr.GroupBlocks blocks (one
+// metadata block covers at most a group).
+func (e *Engine) writeChunk(first, midx uint64, src []byte) error {
+	n := len(src) / BlockBytes
+	var counters [ctr.GroupBlocks]uint64
+
+	// Touch every counter with the whole chunk as the in-flight span: a
+	// mid-chunk overflow sweep must not reseal blocks this chunk is about
+	// to overwrite (their stored bits predate the earlier touches).
+	e.pendingFirst, e.pendingLast, e.hasPendingWrite = first, first+uint64(n)-1, true
+	reenc := false
+	for j := 0; j < n; j++ {
+		e.stats.Writes++
+		out := e.scheme.Touch(first + uint64(j))
+		counters[j] = out.Counter
+		if out.Reencrypted {
+			reenc = true
+		}
+	}
+	e.hasPendingWrite = false
+	if reenc {
+		// An overflow sweep re-based the group mid-chunk, so counters
+		// recorded before it are stale. Re-derive every counter from the
+		// trusted state machine's final image.
+		img := e.packer.PackMetadata(midx)
+		for j := 0; j < n; j++ {
+			c, err := e.decodeCounter(img[:], first+uint64(j))
+			if err != nil {
+				return err
+			}
+			counters[j] = c
+		}
+	}
+
+	// Seal: contiguous blocks sharing a counter value — the common case for
+	// streaming writes into one group — are padded with one batched
+	// keystream sweep instead of one pad lookup per block.
+	if e.spanBuf == nil {
+		e.spanBuf = make([]byte, ctr.GroupBlocks*BlockBytes)
+	}
+	for j := 0; j < n; {
+		r := j + 1
+		for r < n && counters[r] == counters[j] {
+			r++
+		}
+		span := e.spanBuf[:(r-j)*BlockBytes]
+		if err := e.ks.XORBlocks(span, src[j*BlockBytes:r*BlockBytes], (first+uint64(j))*BlockBytes, counters[j]); err != nil {
+			return err
+		}
+		for k := j; k < r; k++ {
+			blk := first + uint64(k)
+			delete(e.quarantine, blk)
+			ct := e.store.Materialize(blk)
+			copy(ct, span[(k-j)*BlockBytes:(k-j+1)*BlockBytes])
+			if err := e.sealBlock(blk, ct, counters[k]); err != nil {
+				return err
+			}
+			if e.bc != nil {
+				e.bc.insert(blk, src[k*BlockBytes:(k+1)*BlockBytes])
+			}
+		}
+		j = r
+	}
+
+	if e.wp != nil {
+		return e.deferCommit(midx)
+	}
+	return e.commitMetadata(midx)
 }

@@ -22,7 +22,9 @@ package core
 //   - a resumed engine starts cold.
 //
 // Group re-encryption changes ciphertext but not plaintext, so resident
-// lines stay valid across counter-overflow sweeps.
+// lines stay valid across counter-overflow sweeps — including the parallel
+// sweep (reencrypt.go), whose workers never touch the cache; only the
+// serial epilogue evicts the lines of blocks it quarantines.
 //
 // The cache is off by default (nil); ShardedEngine enables one per shard.
 // That is the architectural point of the sharded design on a single core:

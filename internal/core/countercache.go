@@ -19,6 +19,11 @@ import "authmem/internal/ctr"
 //
 // Consistency points, all internal to the engine:
 //   - commitMetadata refreshes the cached copy (write-back cache behaviour);
+//   - the write pipeline's deferCommit/Flush refresh it the same way — the
+//     image they install always comes from the trusted scheme state
+//     machine, so a resident line stays trusted even while its tree leaf
+//     is dirty (the tree only vouches for what crosses the boundary; a
+//     cached line never left);
 //   - repairMetadata and tamper APIs flush — injected faults land in DRAM,
 //     and the campaign's job is to exercise the detection path a cold
 //     metadata cache would take, not to mask faults behind a warm one;

@@ -45,13 +45,18 @@ type Engine struct {
 	images *imageStore
 
 	// groupBuf is the reusable plaintext staging buffer for group
-	// re-encryption sweeps.
+	// re-encryption sweeps; spanBuf stages ciphertext runs for the batched
+	// WriteBlocks seal path.
 	groupBuf []byte
+	spanBuf  []byte
 
-	// pendingWrite is the block index currently being written, so the
-	// re-encryption hook does not emit a stale ciphertext for it under
-	// the new counter (hardware merges the in-flight write instead).
-	pendingWrite    uint64
+	// [pendingFirst, pendingLast] is the contiguous block span currently
+	// being written (one block for Write, up to a metadata leaf's worth for
+	// WriteBlocks), so the re-encryption hook does not emit stale
+	// ciphertext for in-flight blocks under the new counter (hardware
+	// merges the in-flight write instead).
+	pendingFirst    uint64
+	pendingLast     uint64
 	hasPendingWrite bool
 
 	// recovery configures the retry-then-repair read path; quarantine
@@ -69,6 +74,19 @@ type Engine struct {
 	// bc is the optional verified-block cache (blockcache.go), nil unless
 	// EnableBlockCache was called. ShardedEngine enables one per shard.
 	bc *blockCache
+
+	// wp is the optional deferred-maintenance write pipeline
+	// (writepipe.go), nil unless EnableWritePipeline was called.
+	// ShardedEngine enables one per shard.
+	wp *writePipe
+
+	// Parallel group re-encryption (reencrypt.go): reencWorkers > 1 fans
+	// the overflow sweep across a worker pool; reencKS are the per-worker
+	// pad-cache-free keystream ciphers and reencStats the per-worker
+	// event counters merged after each sweep.
+	reencWorkers int
+	reencKS      []*keystream.Cipher
+	reencStats   []EngineStats
 
 	stats EngineStats
 }
@@ -100,6 +118,13 @@ type EngineStats struct {
 	// Verified-block cache events (zero unless EnableBlockCache).
 	DataCacheHits   uint64 // reads served as trusted plaintext, engine bypassed
 	DataCacheMisses uint64 // reads that verified, decrypted, and filled the cache
+
+	// Write-pipeline events (zero unless EnableWritePipeline).
+	WriteCombines       uint64 // writes absorbed into an already-dirty counter leaf
+	DeferredLeafFlushes uint64 // dirty counter leaves flushed (epoch + read-triggered)
+
+	// Parallel re-encryption events (zero unless EnableParallelReencrypt).
+	ParallelReencryptWorkers uint64 // workers dispatched by parallel group sweeps
 }
 
 // Add folds o's counts into s. Per-shard stats merge through this on read,
@@ -124,6 +149,9 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.MetaCacheMisses += o.MetaCacheMisses
 	s.DataCacheHits += o.DataCacheHits
 	s.DataCacheMisses += o.DataCacheMisses
+	s.WriteCombines += o.WriteCombines
+	s.DeferredLeafFlushes += o.DeferredLeafFlushes
+	s.ParallelReencryptWorkers += o.ParallelReencryptWorkers
 }
 
 // ReadInfo describes one successful read.
@@ -316,14 +344,23 @@ func (e *Engine) Write(addr uint64, plaintext []byte) error {
 		return nil
 	}
 
-	e.pendingWrite, e.hasPendingWrite = blk, true
+	e.pendingFirst, e.pendingLast, e.hasPendingWrite = blk, blk, true
 	out := e.scheme.Touch(blk)
 	e.hasPendingWrite = false
 
 	if err := e.storeBlock(blk, plaintext, out.Counter); err != nil {
 		return err
 	}
-	return e.commitMetadata(e.scheme.MetadataBlock(blk))
+	midx := e.scheme.MetadataBlock(blk)
+	if e.wp != nil {
+		return e.deferCommit(midx)
+	}
+	return e.commitMetadata(midx)
+}
+
+// pending reports whether blk is inside the in-flight write span.
+func (e *Engine) pending(blk uint64) bool {
+	return e.hasPendingWrite && blk >= e.pendingFirst && blk <= e.pendingLast
 }
 
 // storeBlock encrypts plaintext under counter directly into the block's
@@ -405,6 +442,10 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 	if e.groupBuf == nil {
 		e.groupBuf = make([]byte, ctr.GroupBlocks*BlockBytes)
 	}
+	if e.reencWorkers > 1 && n >= reencParallelMinBlocks {
+		e.reencryptGroupParallel(groupStart, oldCounters[:n], newCounter)
+		return
+	}
 	buf := e.groupBuf[:n*BlockBytes]
 
 	// Recover each block's plaintext under its old counter. Never-written
@@ -423,11 +464,11 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 		blk := groupStart + uint64(j)
 		pt := buf[j*BlockBytes : (j+1)*BlockBytes]
 		ct := e.store.Ciphertext(blk)
-		if ct == nil || (e.hasPendingWrite && blk == e.pendingWrite) {
+		if ct == nil || e.pending(blk) {
 			clear(pt)
 			continue
 		}
-		if !e.verifyStored(blk, ct, oldCounters[j]) {
+		if !e.verifyStored(blk, ct, oldCounters[j], &e.stats) {
 			e.quarantineBlock(blk)
 			skip[j] = true
 			clear(pt)
@@ -445,7 +486,7 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 
 	for j := 0; j < n; j++ {
 		blk := groupStart + uint64(j)
-		if e.hasPendingWrite && blk == e.pendingWrite {
+		if e.pending(blk) {
 			continue // the in-flight write supplies fresh data
 		}
 		if skip[j] {
@@ -462,8 +503,9 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 
 // verifyStored authenticates a resident block's stored bits under counter,
 // repairing correctable faults in place exactly as a read would; false
-// means the block is uncorrectable and must not be trusted.
-func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64) bool {
+// means the block is uncorrectable and must not be trusted. Correction
+// events land in st so parallel sweep workers can bank them race-free.
+func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64, st *EngineStats) bool {
 	switch e.cfg.Placement {
 	case MACInECC:
 		meta := macecc.Meta(e.store.Meta(blk))
@@ -474,8 +516,8 @@ func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64) bool {
 		if out.Status != macecc.OK {
 			return false
 		}
-		e.stats.CorrectedDataBits += uint64(out.CorrectedDataBits)
-		e.stats.CorrectedMACBits += uint64(out.CorrectedMACBits)
+		st.CorrectedDataBits += uint64(out.CorrectedDataBits)
+		st.CorrectedMACBits += uint64(out.CorrectedMACBits)
 		e.store.SetMeta(blk, uint64(meta))
 		return true
 	default:
@@ -486,7 +528,7 @@ func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64) bool {
 		if !outcome.Clean() {
 			return false
 		}
-		e.stats.SECDEDCorrected += uint64(outcome.CorrectedBits)
+		st.SECDEDCorrected += uint64(outcome.CorrectedBits)
 		ok, err := e.key.Verify(ct, blk*BlockBytes, counter, e.store.Meta(blk))
 		if err != nil {
 			panic(err)
@@ -538,10 +580,10 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 			return e.readVerified(blk, counter, dst)
 		}
 	}
-	img := e.images.Load(midx)
-	if err := e.tr.VerifyLeafFast(e.metaLeaf(midx), img); err != nil {
+	img, verr := e.loadVerifiedImage(addr, midx)
+	if verr != nil {
 		e.stats.IntegrityFailures++
-		return info, &IntegrityError{Addr: addr, Reason: "counter metadata failed integrity tree check: " + err.Error(), Stage: StageCounter}
+		return info, verr
 	}
 	if e.cc != nil {
 		e.cc.insert(midx, img)

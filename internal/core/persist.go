@@ -36,6 +36,11 @@ func (e *Engine) Persist(w io.Writer) (RootDigest, error) {
 	if e.cfg.DisableEncryption {
 		return digest, fmt.Errorf("core: nothing meaningful to persist with encryption disabled")
 	}
+	// Deferred Merkle maintenance must land before any state leaves the
+	// trust boundary: the image and its digest cover every accepted write.
+	if err := e.Flush(); err != nil {
+		return digest, err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(persistMagic[:]); err != nil {
 		return digest, err
@@ -109,7 +114,16 @@ func (e *Engine) Persist(w io.Writer) (RootDigest, error) {
 // RootDigest returns the digest pinning the tree's current trusted top
 // level — what Persist returns, available without serializing the image.
 // The sharded combining layer hashes these per-shard digests into one root.
-func (e *Engine) RootDigest() RootDigest { return sha256.Sum256(e.tr.TopLevel()) }
+// An exported root must reflect every accepted write, so any deferred
+// Merkle maintenance is flushed first.
+func (e *Engine) RootDigest() RootDigest {
+	if err := e.Flush(); err != nil {
+		// Flush fails only on structural tree errors, which the engine's
+		// fixed geometry rules out.
+		panic(err)
+	}
+	return sha256.Sum256(e.tr.TopLevel())
+}
 
 // Resume rebuilds an engine from a persisted image. cfg must match the
 // persisting configuration (including the key material, which is never

@@ -209,6 +209,12 @@ func (e *Engine) repairMetadata() error {
 	if e.bc != nil {
 		e.bc.flush()
 	}
+	// Re-packing every image and rebuilding the tree below subsumes any
+	// deferred Merkle maintenance; drop the dirty set rather than flushing
+	// leaves the rebuild is about to recompute anyway.
+	if e.wp != nil {
+		e.wp.reset()
+	}
 	e.images.forEach(func(midx uint64, img []byte) {
 		packed := e.packer.PackMetadata(midx)
 		copy(img, packed[:])

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"authmem/internal/ctr"
+	"authmem/internal/keystream"
+)
+
+// Parallel group re-encryption.
+//
+// A counter-overflow sweep re-encrypts a whole 64-block group while the
+// writer waits — the longest synchronous stall on the write path. The sweep
+// is embarrassingly parallel per block (verify + decrypt under the old
+// counter, re-pad under the new, reseal), so it fans out across a bounded
+// worker pool when enabled.
+//
+// Concurrency audit, because the serial engine shares mutable state freely:
+//   - mac.Key and macecc.Verifier are read-only after construction — shared.
+//   - The engine's main keystream.Cipher is NOT shared: its pad cache makes
+//     it single-threaded. Each worker owns a pad-cache-free Cipher (pads
+//     are generated into stack scratch, which is concurrency-safe).
+//   - blockStore.Materialize mutates the chunk table and presence bitmap
+//     (shared words), so every block is materialized serially BEFORE the
+//     fan-out; workers then only touch disjoint per-block arena slices
+//     (ciphertext, meta lane, check bytes).
+//   - Per-worker EngineStats bank correction events; merged after the join.
+//   - The quarantine map and the block cache are only mutated after the
+//     join, from the workers' skip verdicts.
+//   - The classic data-tree design is excluded: its sealBlock refreshes
+//     tree leaves whose interior nodes are shared between workers.
+
+// reencParallelMinBlocks gates the fan-out: below this the per-goroutine
+// overhead beats the MAC work saved.
+const reencParallelMinBlocks = 16
+
+// EnableParallelReencrypt fans group re-encryption sweeps across up to
+// workers goroutines (capped at the group size). workers < 2 disables the
+// fan-out and returns to the serial sweep. The classic data-tree design is
+// rejected: its per-block reseal updates shared tree nodes.
+func (e *Engine) EnableParallelReencrypt(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("core: negative re-encryption worker count %d", workers)
+	}
+	if e.cfg.DisableEncryption {
+		return nil // no counters, no sweeps
+	}
+	if workers < 2 {
+		e.reencWorkers, e.reencKS, e.reencStats = 0, nil, nil
+		return nil
+	}
+	if e.cfg.DataTree {
+		return fmt.Errorf("core: parallel re-encryption is unsupported with the classic data tree")
+	}
+	if workers > ctr.GroupBlocks {
+		workers = ctr.GroupBlocks
+	}
+	ks := make([]*keystream.Cipher, workers)
+	for i := range ks {
+		c, err := keystream.New(e.cfg.KeyMaterial[24:40])
+		if err != nil {
+			return err
+		}
+		ks[i] = c // deliberately no pad cache: must be concurrency-safe
+	}
+	e.reencKS = ks
+	e.reencStats = make([]EngineStats, workers)
+	e.reencWorkers = workers
+	return nil
+}
+
+// ReencryptWorkers returns the configured parallel-sweep worker count (0
+// when the serial sweep is active).
+func (e *Engine) ReencryptWorkers() int { return e.reencWorkers }
+
+// reencryptGroupParallel is the fan-out body of reencryptGroup; it produces
+// bit-identical arena state to the serial sweep. The dispatcher has already
+// bumped GroupReencrypts, clamped n to the region, and sized groupBuf.
+func (e *Engine) reencryptGroupParallel(groupStart uint64, oldCounters []uint64, newCounter uint64) {
+	n := len(oldCounters)
+	buf := e.groupBuf[:n*BlockBytes]
+
+	// Serial prologue: classify blocks and materialize every slot the sweep
+	// will install into, so workers never mutate shared store structure.
+	// In-flight writes keep their slots untouched (fresh data follows);
+	// never-written blocks become encrypted zeros, exactly as in the serial
+	// sweep.
+	var fresh, pend, skip [ctr.GroupBlocks]bool
+	for j := 0; j < n; j++ {
+		blk := groupStart + uint64(j)
+		if e.pending(blk) {
+			pend[j] = true
+			continue
+		}
+		if e.store.Ciphertext(blk) == nil {
+			fresh[j] = true
+		}
+		e.store.Materialize(blk)
+	}
+
+	workers := e.reencWorkers
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	used := 0
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		used++
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			st := &e.reencStats[w]
+			ks := e.reencKS[w]
+			// Stage: authenticate and decrypt this worker's blocks under
+			// their old counters (same laundering rule as the serial sweep:
+			// unverifiable blocks keep their old sealed bits).
+			for j := lo; j < hi; j++ {
+				blk := groupStart + uint64(j)
+				pt := buf[j*BlockBytes : (j+1)*BlockBytes]
+				if pend[j] || fresh[j] {
+					clear(pt)
+					continue
+				}
+				ct := e.store.Ciphertext(blk)
+				if !e.verifyStored(blk, ct, oldCounters[j], st) {
+					skip[j] = true
+					clear(pt)
+					continue
+				}
+				if err := ks.XOR(pt, ct, blk*BlockBytes, oldCounters[j]); err != nil {
+					panic(err) // sizes are fixed; cannot fail
+				}
+			}
+			// Re-pad this worker's contiguous span under the new counter
+			// and reinstall.
+			span := buf[lo*BlockBytes : hi*BlockBytes]
+			if err := ks.XORBlocks(span, span, (groupStart+uint64(lo))*BlockBytes, newCounter); err != nil {
+				panic(err)
+			}
+			for j := lo; j < hi; j++ {
+				blk := groupStart + uint64(j)
+				if pend[j] || skip[j] {
+					continue
+				}
+				ct := e.store.Ciphertext(blk) // materialized in the prologue
+				copy(ct, buf[j*BlockBytes:(j+1)*BlockBytes])
+				if err := e.sealBlock(blk, ct, newCounter); err != nil {
+					panic(err)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Serial epilogue: merge worker stats and apply quarantine verdicts
+	// (map + block-cache mutations stay single-threaded).
+	for w := 0; w < used; w++ {
+		e.stats.Add(e.reencStats[w])
+		e.reencStats[w] = EngineStats{}
+	}
+	e.stats.ParallelReencryptWorkers += uint64(used)
+	for j := 0; j < n; j++ {
+		if skip[j] {
+			e.quarantineBlock(groupStart + uint64(j))
+		}
+	}
+	// The caller (Touch -> Write) commits the metadata image afterwards.
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"authmem/internal/ctr"
@@ -52,6 +53,36 @@ const shardBlockCacheEntries = 32768
 // shardGroupBytes is the finest partition boundary: one 4KB block-group.
 // Counter groups must never straddle shards.
 const shardGroupBytes = ctr.GroupBlocks * BlockBytes
+
+// shardReencryptWorkers bounds each shard's group re-encryption pool
+// (reencrypt.go): at least 2 so the parallel sweep path is always the one
+// exercised (and race-checked) in production configuration, at most 4 so N
+// shards sweeping at once cannot oversubscribe the machine — the pool lives
+// only for the microseconds of one 64-block sweep.
+const shardReencryptWorkers = 4
+
+// enableShardPipeline turns on the write-path machinery every shard runs
+// with by default, mirroring the per-shard caches above: the deferred-Merkle
+// write pipeline (writepipe.go) with its default epoch bound, and — when the
+// integrity tree covers metadata only — the parallel group re-encryption
+// pool. DataTree configurations keep the serial sweep: their per-block seal
+// updates shared tree state, which the worker pool must not touch.
+func enableShardPipeline(eng *Engine) error {
+	if err := eng.EnableWritePipeline(0); err != nil {
+		return err
+	}
+	if eng.cfg.DataTree {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > shardReencryptWorkers {
+		workers = shardReencryptWorkers
+	}
+	return eng.EnableParallelReencrypt(workers)
+}
 
 // engineShard is one shard: an ordinary Engine over a 1/N slice of the
 // region, guarded by its own lock.
@@ -149,6 +180,9 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 			return nil, err
 		}
 		if err := eng.EnableBlockCache(shardBlockCacheEntries); err != nil {
+			return nil, err
+		}
+		if err := enableShardPipeline(eng); err != nil {
 			return nil, err
 		}
 		s.shards[i] = &engineShard{eng: eng, base: uint64(i) * s.shardBytes}
@@ -546,6 +580,28 @@ func (s *ShardedEngine) TamperCounterForAddr(addr uint64, bit int) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.eng.TamperCounterBlock(sh.eng.MetadataIndex(local), bit)
+}
+
+// FlushAll forces every shard's deferred Merkle maintenance to land.
+// Shards flush concurrently — each flush touches only that shard's own
+// counter images and subtree, under its own lock — so the epoch barrier
+// costs one shard's flush, not the sum. Engine-level flush hooks (persist,
+// root export, scrub) fire per shard automatically; FlushAll is for callers
+// that want a region-wide quiescent point on demand.
+func (s *ShardedEngine) FlushAll() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *engineShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			errs[i] = sh.eng.Flush()
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // RootDigest returns the combining layer's trusted digest over all shard

@@ -137,7 +137,7 @@ func ResumeSharded(cfg Config, shards int, r io.Reader, expectRoot *RootDigest) 
 }
 
 // wrapResumed assembles a ShardedEngine around already-restored per-shard
-// engines, re-enabling each shard's verified-counter cache.
+// engines, re-enabling each shard's caches and write pipeline.
 func wrapResumed(cfg Config, engines []*Engine) (*ShardedEngine, error) {
 	s := &ShardedEngine{
 		cfg:        cfg,
@@ -149,6 +149,9 @@ func wrapResumed(cfg Config, engines []*Engine) (*ShardedEngine, error) {
 			return nil, err
 		}
 		if err := eng.EnableBlockCache(shardBlockCacheEntries); err != nil {
+			return nil, err
+		}
+		if err := enableShardPipeline(eng); err != nil {
 			return nil, err
 		}
 		s.shards[i] = &engineShard{eng: eng, base: uint64(i) * s.shardBytes}

@@ -2,6 +2,7 @@ package ecc
 
 import (
 	"encoding/binary"
+	"math/bits"
 )
 
 // BlockSize is the protected granularity: one cache line.
@@ -96,12 +97,12 @@ func DecodeBlock(data []byte, check *[WordsPerBlock]uint8) (BlockOutcome, error)
 // MAC-in-ECC layout stores one such bit over the 512 ciphertext bits so that
 // DRAM scrubbers can scan for single-bit errors without recomputing MACs.
 func ParityBit(data []byte) uint8 {
-	var p uint8
-	for _, b := range data {
-		p ^= b
+	var x uint64
+	for ; len(data) >= 8; data = data[8:] {
+		x ^= binary.LittleEndian.Uint64(data)
 	}
-	p ^= p >> 4
-	p ^= p >> 2
-	p ^= p >> 1
-	return p & 1
+	for _, b := range data {
+		x ^= uint64(b)
+	}
+	return uint8(bits.OnesCount64(x) & 1)
 }

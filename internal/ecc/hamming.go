@@ -77,6 +77,13 @@ type SECDED struct {
 	m int // highest used codeword position (1-based)
 
 	dataPos []int // codeword position of data bit i
+
+	// synTab[b][v] is the XOR of the codeword positions of the set bits of
+	// byte b of the data word when that byte holds value v. The encode and
+	// decode syndromes over the data bits then cost eight table lookups
+	// instead of a walk over all k bits — this sits on the per-block seal
+	// path (8 words per ECC block), so it is worth the 4KB per code.
+	synTab [8][256]uint16
 }
 
 // New constructs a SEC-DED code for k data bits (1 <= k <= 64).
@@ -107,6 +114,18 @@ func New(k int) (*SECDED, error) {
 	if hp := 1 << (r - 1); hp > c.m {
 		c.m = hp
 	}
+	for b := 0; b < 8; b++ {
+		base := b * 8
+		for v := 1; v < 256; v++ {
+			var s uint16
+			for j := 0; j < 8 && base+j < k; j++ {
+				if v>>uint(j)&1 == 1 {
+					s ^= uint16(c.dataPos[base+j])
+				}
+			}
+			c.synTab[b][v] = s
+		}
+	}
 	return c, nil
 }
 
@@ -132,23 +151,26 @@ func (c *SECDED) CheckBits() int { return c.r + 1 }
 // bit in bit r.
 func (c *SECDED) Encode(data uint64) uint16 {
 	data &= c.dataMask()
-	var syn int
-	for i := 0; i < c.k; i++ {
-		if data>>uint(i)&1 == 1 {
-			syn ^= c.dataPos[i]
-		}
-	}
 	// Hamming check bit j makes the parity over all positions with bit j
 	// set even; since check positions are powers of two, check bit j is
 	// simply bit j of the syndrome over data positions.
-	var check uint16
-	for j := 0; j < c.r; j++ {
-		check |= uint16(syn>>uint(j)&1) << uint(j)
-	}
+	check := c.dataSyn(data) & (uint16(1)<<uint(c.r) - 1)
 	// Overall parity over data bits and Hamming check bits.
 	p := bits.OnesCount64(data) + bits.OnesCount16(check)
 	check |= uint16(p&1) << uint(c.r)
 	return check
+}
+
+// dataSyn returns the XOR of the codeword positions of the set data bits.
+func (c *SECDED) dataSyn(data uint64) uint16 {
+	return c.synTab[0][byte(data)] ^
+		c.synTab[1][byte(data>>8)] ^
+		c.synTab[2][byte(data>>16)] ^
+		c.synTab[3][byte(data>>24)] ^
+		c.synTab[4][byte(data>>32)] ^
+		c.synTab[5][byte(data>>40)] ^
+		c.synTab[6][byte(data>>48)] ^
+		c.synTab[7][byte(data>>56)]
 }
 
 // Decode verifies (data, check) and corrects a single-bit error if present.
@@ -159,17 +181,7 @@ func (c *SECDED) Decode(data uint64, check uint16) (uint64, uint16, Result) {
 	data &= c.dataMask()
 	check &= c.checkMask()
 
-	var syn int
-	for i := 0; i < c.k; i++ {
-		if data>>uint(i)&1 == 1 {
-			syn ^= c.dataPos[i]
-		}
-	}
-	for j := 0; j < c.r; j++ {
-		if check>>uint(j)&1 == 1 {
-			syn ^= 1 << uint(j)
-		}
-	}
+	syn := int(c.dataSyn(data) ^ check&(uint16(1)<<uint(c.r)-1))
 	parity := (bits.OnesCount64(data) + bits.OnesCount16(check)) & 1
 
 	switch {

@@ -20,6 +20,7 @@ package tree
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"authmem/internal/mac"
 )
@@ -214,6 +215,58 @@ func (t *Tree) UpdateLeafFast(i uint64, image []byte) error {
 			tag = t.nodeTag(k+1, parent, node)
 		}
 		idx = parent
+	}
+	return nil
+}
+
+// UpdateLeaves installs new images for a batch of leaves in one pass,
+// recomputing each shared interior node once instead of once per leaf: all
+// leaf tags are set into their parents first, then each level's dirty node
+// set — deduplicated, so siblings merge — is rehashed exactly once. For N
+// leaves under a common subtree this costs O(N + levels) MACs instead of
+// the O(N * levels) of per-leaf updates, which is what makes an epoch
+// flush of a dirty-leaf write combiner cheap.
+//
+// leaves may be in any order and may contain duplicates; the slice is used
+// as scratch and left with unspecified contents, so the whole batch is
+// allocation-free. image must return the 64-byte image of the given leaf.
+func (t *Tree) UpdateLeaves(leaves []uint64, image func(leaf uint64) []byte) error {
+	switch len(leaves) {
+	case 0:
+		return nil
+	case 1:
+		return t.UpdateLeafFast(leaves[0], image(leaves[0]))
+	}
+	for _, i := range leaves {
+		if i >= t.leaves {
+			return fmt.Errorf("tree: leaf %d out of range (%d leaves)", i, t.leaves)
+		}
+		img := image(i)
+		if len(img) != NodeBytes {
+			return fmt.Errorf("tree: leaf image must be %d bytes", NodeBytes)
+		}
+		setSlot(t.node(0, i/Arity), i%Arity, t.nodeTag(0, i, img))
+	}
+	// Dirty node set at level 0. Parent indices of a sorted list stay
+	// sorted under the monotone /Arity map, so one sort serves every level;
+	// per-level dedup happens in place during the walk.
+	dirty := leaves
+	for k := range dirty {
+		dirty[k] /= Arity
+	}
+	slices.Sort(dirty)
+	dirty = slices.Compact(dirty)
+	for k := 0; k+1 < len(t.levels); k++ {
+		w := 0
+		for _, idx := range dirty {
+			tag := t.nodeTag(k+1, idx, t.node(k, idx))
+			setSlot(t.node(k+1, idx/Arity), idx%Arity, tag)
+			if w == 0 || dirty[w-1] != idx/Arity {
+				dirty[w] = idx / Arity
+				w++
+			}
+		}
+		dirty = dirty[:w]
 	}
 	return nil
 }

@@ -150,6 +150,13 @@ func (s *ShardedMemory) WithShard(i int, fn func(m *Memory)) {
 	s.eng.WithShard(i, func(eng *core.Engine) { fn(&Memory{eng: eng}) })
 }
 
+// FlushAll forces every shard's deferred Merkle maintenance to land, with
+// the shards flushing concurrently. Each shard runs the write pipeline by
+// default (writes combine into dirty tree leaves, flushed in epochs), and
+// flushes itself at its epoch bound and before persist/root export; FlushAll
+// is the explicit region-wide quiescent point.
+func (s *ShardedMemory) FlushAll() error { return s.eng.FlushAll() }
+
 // RootDigest returns the combining layer's trusted digest over all shard
 // subtree roots — the value Persist returns, available without serializing.
 func (s *ShardedMemory) RootDigest() RootDigest { return s.eng.RootDigest() }

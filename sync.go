@@ -73,6 +73,21 @@ func (s *SyncMemory) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 	return s.mem.ReadRecover(addr, dst)
 }
 
+// EnableWritePipeline turns on the deferred-Merkle write pipeline. See
+// Memory.EnableWritePipeline.
+func (s *SyncMemory) EnableWritePipeline(maxDirty int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.EnableWritePipeline(maxDirty)
+}
+
+// Flush forces deferred Merkle maintenance to land. See Memory.Flush.
+func (s *SyncMemory) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Flush()
+}
+
 // SetRecoveryPolicy replaces the recovery policy. See Memory.SetRecoveryPolicy.
 func (s *SyncMemory) SetRecoveryPolicy(p RecoveryPolicy) {
 	s.mu.Lock()
