@@ -287,6 +287,15 @@ func (m *Memory) EnableWritePipeline(maxDirty int) error {
 // write pipeline is off or the dirty set is empty.
 func (m *Memory) Flush() error { return m.eng.Flush() }
 
+// FlushAll is Flush under the name the sharded engine uses, so Memory,
+// SyncMemory, and ShardedMemory expose one uniform quiescent-point API and
+// code written against the smallest device (the network server, generic
+// drivers) runs unchanged against all three.
+func (m *Memory) FlushAll() error { return m.eng.Flush() }
+
+// Size returns the protected region size in bytes.
+func (m *Memory) Size() uint64 { return m.eng.Config().RegionBytes }
+
 // EnableParallelReencrypt fans counter-overflow group re-encryptions out
 // across a pool of workers (>= 2; lower disables the pool). The result is
 // bit-identical to the serial sweep. Not available with ClassicDataTree,
@@ -303,6 +312,10 @@ func (m *Memory) RecoveryPolicy() RecoveryPolicy { return m.eng.RecoveryPolicy()
 
 // Quarantined reports whether the block at addr is quarantined.
 func (m *Memory) Quarantined(addr uint64) bool { return m.eng.Quarantined(addr) }
+
+// QuarantineCount returns the number of quarantined blocks without
+// allocating.
+func (m *Memory) QuarantineCount() int { return m.eng.QuarantineCount() }
 
 // QuarantineList returns the quarantined block indices in ascending order.
 func (m *Memory) QuarantineList() []uint64 { return m.eng.QuarantineList() }
@@ -384,6 +397,12 @@ func (m *Memory) metadataBlock(addr uint64) uint64 {
 
 // RootDigest pins the integrity tree's trusted root across power cycles.
 type RootDigest = core.RootDigest
+
+// RootDigest returns the trusted root digest over the current state — the
+// value Persist would return — without serializing the image. Any deferred
+// write-pipeline maintenance is flushed first, so the digest always covers
+// every accepted write.
+func (m *Memory) RootDigest() RootDigest { return m.eng.RootDigest() }
 
 // Persist writes the memory's NVMM image (ciphertext, ECC/MAC bits, counter
 // blocks, integrity tree) to w and returns the root digest. Store the

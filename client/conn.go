@@ -1,0 +1,199 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authmem/internal/wire"
+)
+
+// session is one live transport connection plus the completion table its
+// reader goroutine serves. Reconnecting replaces the whole session, so a
+// stale reader can only ever fail its own generation's calls.
+type session struct {
+	nc net.Conn
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	err     error
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+type call struct {
+	dst  []byte
+	done chan callResult
+}
+
+type callResult struct {
+	h    wire.Header
+	body []byte
+	err  error
+}
+
+// poolConn is one slot of the client's connection pool: a current session
+// plus the in-flight window bounding this slot's pipelining depth.
+type poolConn struct {
+	opts   *Options
+	window chan struct{}
+
+	mu   sync.Mutex
+	sess *session
+
+	nextID atomic.Uint64
+}
+
+// connect (re)dials the slot's transport and starts its reader.
+func (pc *poolConn) connect() error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.connectLocked()
+}
+
+func (pc *poolConn) connectLocked() error {
+	if pc.window == nil {
+		pc.window = make(chan struct{}, pc.opts.MaxInflight)
+	}
+	nc, err := pc.opts.Dial()
+	if err != nil {
+		return err
+	}
+	s := &session{nc: nc, pending: make(map[uint64]*call)}
+	pc.sess = s
+	go s.readLoop()
+	return nil
+}
+
+// live returns a usable session, reconnecting if the current one broke.
+func (pc *poolConn) live() (*session, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.sess != nil {
+		pc.sess.mu.Lock()
+		broken := pc.sess.err != nil
+		pc.sess.mu.Unlock()
+		if !broken {
+			return pc.sess, nil
+		}
+	}
+	if err := pc.connectLocked(); err != nil {
+		return nil, err
+	}
+	return pc.sess, nil
+}
+
+func (pc *poolConn) close(err error) {
+	pc.mu.Lock()
+	s := pc.sess
+	pc.mu.Unlock()
+	if s != nil {
+		s.fail(err)
+		s.nc.Close()
+	}
+}
+
+// roundTrip sends one request and waits for its completion. Read payloads
+// land directly in dst; other payloads are returned as a fresh slice.
+func (pc *poolConn) roundTrip(op wire.Op, addr uint64, count uint32, payload, dst []byte) (wire.Header, []byte, error) {
+	pc.window <- struct{}{}
+	defer func() { <-pc.window }()
+
+	s, err := pc.live()
+	if err != nil {
+		return wire.Header{}, nil, err
+	}
+	id := pc.nextID.Add(1)
+	cl := &call{dst: dst, done: make(chan callResult, 1)}
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return wire.Header{}, nil, err
+	}
+	s.pending[id] = cl
+	s.mu.Unlock()
+
+	h := wire.Header{Version: wire.Version, Op: op, ID: id, Addr: addr, Count: count}
+	s.wmu.Lock()
+	s.wbuf = wire.AppendFrame(s.wbuf[:0], h, payload)
+	_, werr := s.nc.Write(s.wbuf)
+	s.wmu.Unlock()
+	if werr != nil {
+		s.forget(id)
+		s.fail(fmt.Errorf("client: write: %w", werr))
+		s.nc.Close()
+		return wire.Header{}, nil, werr
+	}
+
+	timer := time.NewTimer(pc.opts.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-cl.done:
+		return res.h, res.body, res.err
+	case <-timer.C:
+		s.forget(id)
+		return wire.Header{}, nil, fmt.Errorf("client: %v at %#x: request timed out", op, addr)
+	}
+}
+
+// readLoop matches responses to pending calls by request ID, in whatever
+// order the server completes them.
+func (s *session) readLoop() {
+	fr := wire.NewReader(s.nc)
+	for {
+		h, payload, err := fr.Next()
+		if err != nil {
+			s.fail(fmt.Errorf("client: connection lost: %w", err))
+			s.nc.Close()
+			return
+		}
+		s.mu.Lock()
+		cl := s.pending[h.ID]
+		delete(s.pending, h.ID)
+		s.mu.Unlock()
+		if cl == nil {
+			continue // completion for a timed-out call
+		}
+		res := callResult{h: h}
+		if h.Status.Success() {
+			switch {
+			case cl.dst != nil:
+				if len(payload) != len(cl.dst) {
+					res.err = fmt.Errorf("client: %v payload is %d bytes, want %d", h.Op, len(payload), len(cl.dst))
+				} else {
+					copy(cl.dst, payload)
+				}
+			case len(payload) > 0:
+				res.body = append([]byte(nil), payload...)
+			}
+		}
+		cl.done <- res
+	}
+}
+
+// forget deregisters a call (timeout or failed send).
+func (s *session) forget(id uint64) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// fail marks the session broken and completes every pending call with err.
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	} else {
+		err = s.err
+	}
+	pending := s.pending
+	s.pending = make(map[uint64]*call)
+	s.mu.Unlock()
+	for _, cl := range pending {
+		cl.done <- callResult{err: err}
+	}
+}

@@ -1,0 +1,236 @@
+// Command memserved serves an authenticated, encrypted memory region over
+// TCP using the internal/wire protocol. It is the daemon half of the
+// client package: readers and writers connect, pipeline block requests, and
+// get the engine's integrity verdicts (MAC_FAIL, QUARANTINED, RECOVERED,
+// OVERFLOW_SWEPT) as first-class wire statuses.
+//
+// Serve a 64MB region on the default port:
+//
+//	memserved -dev-key -addr :7348
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight requests complete,
+// connections close, and the region reaches its FlushAll quiescent point
+// before the process exits.
+//
+// The -connect mode is a smoke client (used by CI): it dials a running
+// daemon, pushes pipelined writes, reads them back through the verifying
+// path, flushes, and exits non-zero on any mismatch.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"authmem"
+	"authmem/client"
+	"authmem/internal/server"
+	"authmem/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7348", "TCP listen address (serve mode) ")
+		size      = flag.Uint64("size", 64<<20, "protected region size in bytes")
+		shards    = flag.Int("shards", 4, "shard count (power of two; 1 = single locked engine)")
+		scheme    = flag.String("scheme", "delta", "counter scheme: delta, split, or mono")
+		keyHex    = flag.String("key-hex", "", "device key, hex-encoded (40 bytes)")
+		devKey    = flag.Bool("dev-key", false, "use a fixed all-zeros development key (NOT for real data)")
+		inflight  = flag.Int("inflight", 64, "per-connection in-flight request cap")
+		workers   = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request queue deadline (0 disables)")
+		drain     = flag.Duration("drain-grace", 200*time.Millisecond, "drain window for pipelined requests at shutdown")
+		sweep     = flag.Bool("sweep-status", false, "report counter-overflow sweeps as OVERFLOW_SWEPT")
+		statsEach = flag.Duration("stats-every", 0, "log a stats snapshot at this interval (0 disables)")
+
+		connect    = flag.String("connect", "", "smoke-client mode: dial this address instead of serving")
+		smokeConns = flag.Int("smoke-conns", 2, "smoke client: pooled connections")
+		smokeOps   = flag.Int("smoke-ops", 256, "smoke client: write+read pairs per worker")
+	)
+	flag.Parse()
+	log.SetPrefix("memserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	if *connect != "" {
+		if err := runSmoke(*connect, *smokeConns, *smokeOps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	key, err := resolveKey(*keyHex, *devKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend, desc, err := buildBackend(*size, *shards, *scheme, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := server.Config{
+		Backend:        backend,
+		MaxInflight:    *inflight,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		DrainGrace:     *drain,
+		SweepStatus:    *sweep,
+		Logf:           log.Printf,
+	}
+	if *timeout == 0 {
+		cfg.RequestTimeout = -1
+	}
+	if *statsEach > 0 {
+		cfg.MetricsInterval = *statsEach
+		cfg.OnMetrics = func(snap wire.StatsSnapshot) {
+			log.Printf("stats: reads=%d writes=%d blocks_r=%d blocks_w=%d busy=%d macfail=%d quarantined=%d recovered=%d conns=%d",
+				snap.Server.ReadOps, snap.Server.WriteOps,
+				snap.Server.BlocksRead, snap.Server.BlocksWritten,
+				snap.Server.BusyRejected, snap.Server.MACFails,
+				snap.Server.Quarantined, snap.Server.Recovered,
+				snap.Server.ConnsOpened-snap.Server.ConnsClosed)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+	log.Printf("serving %s on %s (%d-byte blocks, protocol v%d)", desc, *addr, wire.BlockBytes, wire.Version)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("%v: draining...", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil && err != server.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("drained to quiescent point; bye")
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+func resolveKey(keyHex string, devKey bool) ([]byte, error) {
+	switch {
+	case keyHex != "":
+		key, err := hex.DecodeString(keyHex)
+		if err != nil {
+			return nil, fmt.Errorf("-key-hex: %w", err)
+		}
+		if len(key) != authmem.KeySize {
+			return nil, fmt.Errorf("-key-hex: got %d bytes, want %d", len(key), authmem.KeySize)
+		}
+		return key, nil
+	case devKey:
+		return make([]byte, authmem.KeySize), nil
+	default:
+		return nil, fmt.Errorf("a key is required: pass -key-hex (%d bytes) or -dev-key", authmem.KeySize)
+	}
+}
+
+func buildBackend(size uint64, shards int, scheme string, key []byte) (server.Backend, string, error) {
+	cfg := authmem.DefaultConfig(size)
+	cfg.Key = key
+	switch scheme {
+	case "delta":
+		cfg.Scheme = authmem.DeltaEncoding
+	case "split":
+		cfg.Scheme = authmem.SplitCounter
+	case "mono":
+		cfg.Scheme = authmem.Monolithic
+	default:
+		return nil, "", fmt.Errorf("-scheme: unknown scheme %q (want delta, split, or mono)", scheme)
+	}
+	if shards > 1 {
+		m, err := authmem.NewSharded(cfg, shards)
+		if err != nil {
+			return nil, "", err
+		}
+		return m, fmt.Sprintf("%dMB %s region across %d shards", size>>20, scheme, shards), nil
+	}
+	m, err := authmem.NewSync(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return m, fmt.Sprintf("%dMB %s region (single engine)", size>>20, scheme), nil
+}
+
+// runSmoke is the CI smoke client: concurrent workers pipeline writes and
+// verifying reads over a pooled connection, then flush and fetch stats.
+func runSmoke(addr string, conns, ops int) error {
+	c, err := client.New(client.Options{Addr: addr, Conns: conns, MaxInflight: 32})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer c.Close()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, wire.BlockBytes)
+			data := make([]byte, wire.BlockBytes)
+			base := uint64(w) * 1 << 20
+			for i := 0; i < ops; i++ {
+				addr := base + uint64(i%1024)*wire.BlockBytes
+				for j := range data {
+					data[j] = byte(w*131 + i + j)
+				}
+				if _, err := c.Write(addr, data); err != nil {
+					errCh <- fmt.Errorf("worker %d write %#x: %w", w, addr, err)
+					return
+				}
+				if _, err := c.Read(addr, buf); err != nil {
+					errCh <- fmt.Errorf("worker %d read %#x: %w", w, addr, err)
+					return
+				}
+				for j := range buf {
+					if buf[j] != data[j] {
+						errCh <- fmt.Errorf("worker %d: byte %d mismatch at %#x", w, j, addr)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	if _, err := c.RootDigest(); err != nil {
+		return fmt.Errorf("root digest: %w", err)
+	}
+	snap, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	total := workers * ops * 2
+	log.Printf("smoke OK: %d ops in %v; server ledger: reads=%d writes=%d busy=%d macfail=%d",
+		total, time.Since(start).Round(time.Millisecond),
+		snap.Server.ReadOps, snap.Server.WriteOps,
+		snap.Server.BusyRejected, snap.Server.MACFails)
+	return nil
+}

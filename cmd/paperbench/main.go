@@ -38,7 +38,9 @@ func main() {
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel")
 	writepath := flag.Bool("writepath", false, "run the write-pipeline benchmarks (deferred vs eager Merkle maintenance) and write the tracked JSON baseline")
 	writepathOut := flag.String("writepath-out", "BENCH_writepath.json", "output path for -writepath")
-	quick := flag.Bool("quick", false, "shrink the -writepath region for a fast smoke run")
+	srvBench := flag.Bool("server", false, "run the serving-layer benchmarks (loopback and TCP through the client/server stack) and write the tracked JSON baseline")
+	srvBenchOut := flag.String("server-out", "BENCH_server.json", "output path for -server")
+	quick := flag.Bool("quick", false, "shrink the -writepath/-server workloads for a fast smoke run")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
 	writebacks := flag.Uint64("writebacks", 16_000_000, "Table 2: writeback stream length")
@@ -49,13 +51,13 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *srvBench || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath = true, true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *srvBench = true, true, true, true, true, true, true, true
 	}
 	if *hotpath {
 		runHotpath(*hotpathOut)
@@ -65,6 +67,9 @@ func main() {
 	}
 	if *writepath {
 		runWritepath(*writepathOut, *quick)
+	}
+	if *srvBench {
+		runServer(*srvBenchOut, *quick)
 	}
 	if *fig1 {
 		runFig1()

@@ -1,0 +1,185 @@
+package main
+
+// -server: tracked serving-layer benchmark. Measures end-to-end throughput
+// and latency of the wire protocol through the full client/server stack —
+// both over an in-process loopback pipe (protocol cost with no kernel
+// sockets) and over real TCP on localhost — at 1, 4, and 16 pipelined
+// connections, and writes BENCH_server.json so serving-path regressions are
+// reviewable in diffs like any other result.
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"authmem"
+	"authmem/client"
+	"authmem/internal/server"
+	"authmem/internal/stats"
+	"authmem/internal/wire"
+)
+
+// serverEntry is one (transport, connections, op) cell in BENCH_server.json.
+type serverEntry struct {
+	Transport    string  `json:"transport"` // loopback | tcp
+	Conns        int     `json:"conns"`
+	PipelineEach int     `json:"pipeline_depth_per_conn"`
+	Op           string  `json:"op"` // write | read
+	SpanBlocks   int     `json:"span_blocks"`
+	Ops          int     `json:"ops"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+}
+
+type serverReport struct {
+	Note        string        `json:"note"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	RegionBytes uint64        `json:"region_bytes"`
+	Shards      int           `json:"shards"`
+	Entries     []serverEntry `json:"entries"`
+}
+
+func runServer(outPath string, quick bool) {
+	fmt.Println("=== Serving layer: client/server throughput and latency ===")
+	regionBytes := uint64(64 << 20)
+	opsPerCell := 30_000
+	if quick {
+		regionBytes = 8 << 20
+		opsPerCell = 3_000
+	}
+	const (
+		shards     = 4
+		spanBlocks = 4
+		depth      = 8 // concurrent requests per connection
+	)
+
+	cfg := authmem.DefaultConfig(regionBytes)
+	cfg.Key = benchKeyMaterial()
+	mem, err := authmem.NewSharded(cfg, shards)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{Backend: mem, RequestTimeout: -1})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	go srv.Serve(l)
+	tcpAddr := l.Addr().String()
+
+	rep := serverReport{
+		Note: fmt.Sprintf("End-to-end wire-protocol ops (%d-block spans) through the "+
+			"client pool: loopback is an in-process net.Pipe (no kernel sockets), "+
+			"tcp is localhost. Each connection pipelines %d requests.", spanBlocks, depth),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		RegionBytes: regionBytes,
+		Shards:      shards,
+	}
+
+	transports := []struct {
+		name string
+		opts client.Options
+	}{
+		{"loopback", client.Options{Dial: srv.DialLoopback}},
+		{"tcp", client.Options{Addr: tcpAddr}},
+	}
+	for _, tr := range transports {
+		for _, conns := range []int{1, 4, 16} {
+			opts := tr.opts
+			opts.Conns = conns
+			opts.MaxInflight = depth + 2
+			c, err := client.New(opts)
+			if err != nil {
+				fatal(err)
+			}
+			for _, op := range []string{"write", "read"} {
+				e := benchServerCell(c, mem.Size(), tr.name, conns, depth, op, spanBlocks, opsPerCell)
+				rep.Entries = append(rep.Entries, e)
+				fmt.Printf("  %-8s conns=%-2d %-5s  %9.0f ops/s  %8.1f MB/s  %7.1f us/op\n",
+					e.Transport, e.Conns, e.Op, e.OpsPerSec, e.MBPerSec, e.AvgLatencyUs)
+			}
+			c.Close()
+		}
+	}
+
+	if err := stats.WriteJSON(outPath, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// benchServerCell drives one cell: conns*depth workers issue span-sized ops
+// over disjoint block ranges and the wall clock prices the whole batch.
+func benchServerCell(c *client.Client, size uint64, transport string, conns, depth int, op string, spanBlocks, totalOps int) serverEntry {
+	workers := conns * depth
+	perWorker := totalOps / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	totalOps = perWorker * workers
+	spanBytes := spanBlocks * wire.BlockBytes
+	// Disjoint per-worker windows so reads always hit written blocks.
+	window := (size / uint64(workers)) / uint64(spanBytes) // spans per worker
+	if window > 256 {
+		window = 256
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * (size / uint64(workers))
+			buf := make([]byte, spanBytes)
+			for i := range buf {
+				buf[i] = byte(w + i)
+			}
+			for i := 0; i < perWorker; i++ {
+				addr := base + uint64(i)%window*uint64(spanBytes)
+				var err error
+				if op == "write" {
+					_, err = c.Write(addr, buf)
+				} else {
+					_, err = c.Read(addr, buf)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("%s %s at %#x: %w", transport, op, addr, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		fatal(err)
+	}
+
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(totalOps)
+	return serverEntry{
+		Transport:    transport,
+		Conns:        conns,
+		PipelineEach: depth,
+		Op:           op,
+		SpanBlocks:   spanBlocks,
+		Ops:          totalOps,
+		NsPerOp:      nsPerOp,
+		OpsPerSec:    float64(totalOps) / elapsed.Seconds(),
+		MBPerSec:     float64(totalOps) * float64(spanBytes) / (1 << 20) / elapsed.Seconds(),
+		AvgLatencyUs: nsPerOp * float64(conns*depth) / 1e3,
+	}
+}

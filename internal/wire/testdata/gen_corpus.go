@@ -1,0 +1,47 @@
+//go:build ignore
+
+// gen_corpus.go regenerates the committed seed corpora for
+// FuzzWireRoundTrip (internal/wire) and FuzzServerFrame (internal/server):
+//
+//	go run internal/wire/testdata/gen_corpus.go internal/wire/testdata/fuzz/FuzzWireRoundTrip
+//	go run internal/wire/testdata/gen_corpus.go internal/server/testdata/fuzz/FuzzServerFrame
+//
+// Both targets consume raw frame streams, so they share one seed set.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"authmem/internal/wire"
+)
+
+func main() {
+	dir := os.Args[1]
+	seeds := map[string][]byte{
+		"read":            wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpRead, ID: 1, Addr: 64, Count: 4}, nil),
+		"write":           wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpWrite, ID: 2, Count: 1}, make([]byte, wire.BlockBytes)),
+		"flush":           wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpFlush, ID: 3}, nil),
+		"stats":           wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpStats, ID: 4}, nil),
+		"rootdigest":      wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpRootDigest, ID: 5}, nil),
+		"macfail":         wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpRead, Status: wire.StatusMACFail, Flags: wire.FlagQuarantinedNow, ID: 6, Addr: 128}, nil),
+		"pipelined":       wire.AppendFrame(wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpRead, ID: 7, Count: 1}, nil), wire.Header{Version: wire.Version, Op: wire.OpFlush, ID: 8}, nil),
+		"truncated":       wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpRead, ID: 9, Count: 1}, nil)[:7],
+		"badversion":      wire.AppendFrame(nil, wire.Header{Version: wire.Version + 3, Op: wire.OpRead, ID: 10, Count: 1}, nil),
+		"shortlen":        {5, 0, 0, 0, 1, 1, 0, 0, 0},
+		"oversizedlen":    {0xff, 0xff, 0xff, 0x7f},
+		"giantcount":      wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpWrite, ID: 11, Count: 1 << 30}, nil),
+		"badop":           wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.Op(77), ID: 12}, nil),
+		"unaligned":       wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpRead, ID: 13, Addr: 33, Count: 1}, nil),
+		"adjacent-writes": wire.AppendFrame(wire.AppendFrame(nil, wire.Header{Version: wire.Version, Op: wire.OpWrite, ID: 14, Addr: 0, Count: 1}, make([]byte, 64)), wire.Header{Version: wire.Version, Op: wire.OpWrite, ID: 15, Addr: 64, Count: 1}, make([]byte, 64)),
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed_"+name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("wrote", len(seeds), "seeds to", dir)
+}

@@ -50,6 +50,9 @@ func (s *ShardedMemory) Shards() int { return s.eng.Shards() }
 // ShardSize returns each shard's slice of the region in bytes.
 func (s *ShardedMemory) ShardSize() uint64 { return s.eng.ShardBytes() }
 
+// Size returns the protected region size in bytes.
+func (s *ShardedMemory) Size() uint64 { return s.eng.ShardBytes() * uint64(s.eng.Shards()) }
+
 // ShardOf returns the index of the shard owning addr.
 func (s *ShardedMemory) ShardOf(addr uint64) int { return s.eng.ShardOf(addr) }
 

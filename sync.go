@@ -88,6 +88,36 @@ func (s *SyncMemory) Flush() error {
 	return s.mem.Flush()
 }
 
+// FlushAll is Flush under the uniform quiescent-point name shared with
+// ShardedMemory. See Memory.FlushAll.
+func (s *SyncMemory) FlushAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Flush()
+}
+
+// Size returns the protected region size in bytes.
+func (s *SyncMemory) Size() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Size()
+}
+
+// RootDigest returns the trusted root digest over the current state. See
+// Memory.RootDigest.
+func (s *SyncMemory) RootDigest() RootDigest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.RootDigest()
+}
+
+// CounterStats reports counter-scheme events. See Memory.CounterStats.
+func (s *SyncMemory) CounterStats() CounterStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.CounterStats()
+}
+
 // SetRecoveryPolicy replaces the recovery policy. See Memory.SetRecoveryPolicy.
 func (s *SyncMemory) SetRecoveryPolicy(p RecoveryPolicy) {
 	s.mu.Lock()
@@ -107,6 +137,14 @@ func (s *SyncMemory) Quarantined(addr uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mem.Quarantined(addr)
+}
+
+// QuarantineCount returns the number of quarantined blocks without
+// allocating.
+func (s *SyncMemory) QuarantineCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.QuarantineCount()
 }
 
 // QuarantineList returns the quarantined block indices in ascending order.
