@@ -20,6 +20,12 @@
 // ShardedEngine, and the run ends with a sharded persist/resume sweep. The
 // safety bar is the same: zero silent escapes.
 //
+// The -strike mode targets the lock-free read path specifically: reader
+// goroutines hammer a fixed warm hot set through the zero-lock seqlock
+// probe while a striker lands faults on those same lines and recovers the
+// victims. Any read that returns non-oracle bytes with a success verdict —
+// i.e. a fault masked by a stale-but-trusted cache line — fails the run.
+//
 // Usage:
 //
 //	faultinject [-trials n] [-seed s] [-budget 0|1|2]
@@ -29,6 +35,9 @@
 //	faultinject -concurrent [-trials n] [-seed s] [-shards 4] [-workers 3]
 //	           [-scheme delta] [-placement macecc]
 //	           [-rate 0.15] [-burst 4] [-out CONCURRENT_report.json]
+//	faultinject -strike [-trials n] [-seed s] [-shards 4] [-workers 3]
+//	           [-scheme delta] [-placement macecc]
+//	           [-burst 4] [-out STRIKE_report.json]
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 func main() {
 	runCampaign := flag.Bool("campaign", false, "run the end-to-end campaign instead of the Figure 3 table")
 	runConcurrent := flag.Bool("concurrent", false, "run the concurrent sharded-engine campaign phase")
+	runStrike := flag.Bool("strike", false, "run the lock-free read-path strike phase")
 	shards := flag.Int("shards", 4, "shard count for -concurrent (power of two)")
 	workers := flag.Int("workers", 3, "traffic goroutines for -concurrent")
 	trials := flag.Int("trials", 2000, "fault injections per cell (Figure 3) or total memory operations (-campaign)")
@@ -59,6 +69,10 @@ func main() {
 	out := flag.String("out", "CAMPAIGN_report.json", "campaign JSON report path")
 	flag.Parse()
 
+	if *runStrike {
+		mainStrike(*trials, *seed, *budget, *scheme, *placement, *burst, *shards, *workers, *out)
+		return
+	}
 	if *runConcurrent {
 		mainConcurrent(*trials, *seed, *budget, *scheme, *placement, *rate, *burst, *shards, *workers, *out)
 		return
@@ -207,6 +221,64 @@ func mainConcurrent(ops int, seed int64, budget int, scheme, placement string, r
 		os.Exit(1)
 	}
 	fmt.Printf("PASS: %d concurrent operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
+}
+
+func mainStrike(ops int, seed int64, budget int, scheme, placement string, burst, shards, readers int, out string) {
+	kind, ok := schemes[scheme]
+	if !ok {
+		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
+	}
+	var place core.MACPlacement
+	switch placement {
+	case "inline":
+		place = core.MACInline
+	case "macecc":
+		place = core.MACInECC
+	default:
+		fatalf("unknown placement %q (inline|macecc)", placement)
+	}
+	ecfg := core.Default(kind, place)
+	ecfg.CorrectBits = budget
+
+	cfg := campaign.DefaultStrike(ecfg, ops, seed)
+	cfg.BurstMax = burst
+	cfg.Shards = shards
+	cfg.Readers = readers
+
+	fmt.Printf("Strike campaign: %s / %s, budget %d, %d shards x %d lock-free readers, %d strikes, seed %d\n",
+		kind, place, budget, shards, readers, cfg.Strikes, seed)
+	rep, err := campaign.RunStrike(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("read ops", rep.ReadOps)
+	tb.AddRow("fault events", rep.FaultEvents)
+	tb.AddRow("bits flipped", rep.BitsFlipped)
+	for _, o := range campaign.Outcomes() {
+		tb.AddRow(o.String(), rep.Outcomes[o.String()])
+	}
+	tb.AddRow("final sweep", rep.FinalSweep)
+	tb.AddRow("lock-free hits", rep.LockFreeHits)
+	tb.AddRow("seqlock retries", rep.SeqlockRetries)
+	tb.AddRow("slow-path reads", rep.SlowPathReads)
+	fmt.Print(tb)
+	fmt.Printf("\nrecovery: %d metadata repairs, %d retry recoveries, %d quarantines\n",
+		rep.MetadataRepairs, rep.RetryRecoveries, rep.Quarantined)
+
+	if err := stats.WriteJSON(out, rep); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if !rep.Passed() {
+		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d silent escape(s) under lock-free readers (final sweep %s) — replay with -seed %d\n",
+			rep.SilentEscapes, rep.FinalSweep, seed)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d lock-free reads (%d warm hits), %d strikes, 0 silent corruption escapes\n",
+		rep.ReadOps, rep.LockFreeHits, rep.FaultEvents)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,221 @@
+package main
+
+// -cores: tracked core-scaling benchmark for the lock-free read path,
+// writing BENCH_cores.json.
+//
+// The matrix crosses GOMAXPROCS (1/2/4) with shard count (1/4) and, on the
+// main cell, reader-goroutine count and the lock-free/locked mode switch
+// (ShardedMemory.SetLockFreeReads). The workload is fixed across every
+// cell: random single-block reads over a hot set sized to sit fully
+// resident in the per-shard verified-block caches at BOTH shard counts (the
+// stripes are staggered so they never alias in the direct-mapped cache), so
+// the matrix isolates synchronization cost from cache capacity — the
+// capacity story is -parallel's job.
+//
+// What the committed numbers do and do not claim: num_cpu is recorded in
+// the report, and on a single-CPU container the GOMAXPROCS axis measures
+// scheduler multiplexing, not hardware parallelism — throughput is flat and
+// that is the honest result. The lock-free property itself is machine-
+// independent and is evidenced by counters, not wall clock: a warm cell
+// retires every read as a LockFreeHit with slow_path_reads == 0 (zero shard
+// -lock acquisitions), and the same cell re-run with the fast path disabled
+// gives the locked-baseline ratio. On multi-core hardware the same binary
+// turns the eliminated lock acquisitions into real scaling; the JSON is
+// interpretable either way because the environment rides along.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"authmem"
+	"authmem/internal/stats"
+)
+
+const (
+	coresRegionBytes = 32 << 20
+	coresStripeBytes = 512 << 10 // per-stripe hot span
+	coresStripes     = 4
+	coresStripeGap   = 8 << 20 // == shard size at 4 shards
+	coresReads       = 400_000 // total reads per cell, split across readers
+	coresQuickReads  = 40_000
+)
+
+type coresEntry struct {
+	Shards         int     `json:"shards"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Goroutines     int     `json:"goroutines"`
+	LockFree       bool    `json:"lock_free"`
+	Reads          uint64  `json:"reads"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	ReadsPerSec    float64 `json:"reads_per_sec"`
+	NsPerRead      float64 `json:"ns_per_read"`
+	LockFreeHits   uint64  `json:"lock_free_hits"`
+	SeqlockRetries uint64  `json:"seqlock_retries"`
+	SlowPathReads  uint64  `json:"slow_path_reads"`
+}
+
+type coresReport struct {
+	Note string `json:"note"`
+	benchEnv
+	RegionBytes uint64       `json:"region_bytes"`
+	HotBytes    uint64       `json:"hot_bytes"`
+	Entries     []coresEntry `json:"entries"`
+	// Summary ratios from the matrix (shards=4, 4 readers throughout).
+	ScalingGMP4v1   float64 `json:"warm_scaling_gomaxprocs_4_vs_1"`
+	LockFreeSpeedup float64 `json:"lockfree_vs_locked_speedup"`
+}
+
+// coresHotAddrs returns the staggered hot set: stripe k starts at
+// k*(gap+stripe), so at 4 shards stripe k lives wholly inside shard k, and
+// at 1 shard the four stripes map to disjoint line ranges of the single
+// direct-mapped block cache. Fully resident either way.
+func coresHotAddrs() []uint64 {
+	var addrs []uint64
+	for s := uint64(0); s < coresStripes; s++ {
+		base := s * (coresStripeGap + coresStripeBytes)
+		for off := uint64(0); off < coresStripeBytes; off += authmem.BlockSize {
+			addrs = append(addrs, base+off)
+		}
+	}
+	return addrs
+}
+
+// coresMeasure runs one cell: reads random warm blocks from g goroutines.
+func coresMeasure(dev *authmem.ShardedMemory, addrs []uint64, g int, reads uint64) (time.Duration, error) {
+	errs := make(chan error, g)
+	per := reads / uint64(g)
+	start := time.Now()
+	for i := 0; i < g; i++ {
+		go func(i int) {
+			rng := rand.New(rand.NewSource(int64(i) + 7))
+			dst := make([]byte, authmem.BlockSize)
+			n := len(addrs)
+			for r := uint64(0); r < per; r++ {
+				if _, err := dev.Read(addrs[rng.Intn(n)], dst); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < g; i++ {
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+func runCores(outPath string, quick bool) {
+	fmt.Println("=== Cores: lock-free read path scaling matrix ===")
+	reads := uint64(coresReads)
+	gmps := []int{1, 2, 4}
+	if quick {
+		reads = coresQuickReads
+		gmps = []int{1, 4}
+	}
+	fmt.Printf("    hot set %d KB (%d staggered stripes), %d warm reads per cell, num_cpu=%d\n",
+		coresStripes*coresStripeBytes>>10, coresStripes, reads, runtime.NumCPU())
+
+	cfg := authmem.DefaultConfig(coresRegionBytes)
+	cfg.Key = benchKeyMaterial()
+	addrs := coresHotAddrs()
+
+	rep := coresReport{
+		Note: "Fixed warm random-read workload; the hot set is staggered so it is " +
+			"fully resident in the per-shard verified-block caches at every shard " +
+			"count, isolating synchronization cost from cache capacity. lock_free=true " +
+			"cells serve reads via the seqlock probe with zero shard-lock acquisitions " +
+			"(slow_path_reads stays 0 and lock_free_hits covers every read); " +
+			"lock_free=false re-runs the identical cell through the locked slow path. " +
+			"On a host where num_cpu < gomaxprocs the GOMAXPROCS axis measures " +
+			"scheduler multiplexing, not hardware parallelism — the lock-elimination " +
+			"evidence is the counters and the lockfree/locked ratio, which do not " +
+			"depend on core count.",
+		benchEnv:    captureEnv(),
+		RegionBytes: coresRegionBytes,
+		HotBytes:    coresStripes * coresStripeBytes,
+	}
+	prevGMP := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevGMP)
+
+	cell := func(dev *authmem.ShardedMemory, shards, gmp, g int, lockFree bool) coresEntry {
+		runtime.GOMAXPROCS(gmp)
+		dev.SetLockFreeReads(lockFree)
+		warm := dev.Stats()
+		elapsed, err := coresMeasure(dev, addrs, g, reads)
+		if err != nil {
+			fatal(fmt.Errorf("cores cell shards=%d gmp=%d g=%d: %w", shards, gmp, g, err))
+		}
+		after := dev.Stats()
+		n := reads / uint64(g) * uint64(g)
+		e := coresEntry{
+			Shards:         shards,
+			GOMAXPROCS:     gmp,
+			Goroutines:     g,
+			LockFree:       lockFree,
+			Reads:          n,
+			ElapsedNs:      elapsed.Nanoseconds(),
+			ReadsPerSec:    float64(n) / elapsed.Seconds(),
+			NsPerRead:      float64(elapsed.Nanoseconds()) / float64(n),
+			LockFreeHits:   after.LockFreeHits - warm.LockFreeHits,
+			SeqlockRetries: after.SeqlockRetries - warm.SeqlockRetries,
+			SlowPathReads:  after.SlowPathReads - warm.SlowPathReads,
+		}
+		rep.Entries = append(rep.Entries, e)
+		mode := "lock-free"
+		if !lockFree {
+			mode = "locked   "
+		}
+		fmt.Printf("  shards=%d gmp=%d g=%d %s %11.0f reads/s  %6.1f ns/read  hits=%d slow=%d retries=%d\n",
+			shards, gmp, g, mode, e.ReadsPerSec, e.NsPerRead, e.LockFreeHits, e.SlowPathReads, e.SeqlockRetries)
+		return e
+	}
+
+	var gmp1, gmp4, locked4 *coresEntry
+	for _, shards := range []int{1, 4} {
+		dev, err := authmem.NewSharded(cfg, shards)
+		if err != nil {
+			fatal(err)
+		}
+		if err := parPrefill(dev, addrs); err != nil {
+			fatal(fmt.Errorf("cores prefill shards=%d: %w", shards, err))
+		}
+		for _, gmp := range gmps {
+			e := cell(dev, shards, gmp, 4, true)
+			if shards == 4 && gmp == 1 {
+				gmp1 = &e
+			}
+			if shards == 4 && gmp == 4 {
+				gmp4 = &e
+			}
+			le := cell(dev, shards, gmp, 4, false)
+			if shards == 4 && gmp == 4 {
+				locked4 = &le
+			}
+		}
+		if shards == 4 && !quick {
+			// Reader-count minor axis at full scheduler width.
+			runtime.GOMAXPROCS(4)
+			for _, g := range []int{1, 8} {
+				cell(dev, shards, 4, g, true)
+			}
+		}
+	}
+	if gmp1 != nil && gmp4 != nil {
+		rep.ScalingGMP4v1 = gmp4.ReadsPerSec / gmp1.ReadsPerSec
+	}
+	if gmp4 != nil && locked4 != nil {
+		rep.LockFreeSpeedup = gmp4.ReadsPerSec / locked4.ReadsPerSec
+	}
+	fmt.Printf("  summary: gmp 1->4 scaling %.2fx (num_cpu=%d), lock-free vs locked %.2fx\n",
+		rep.ScalingGMP4v1, rep.NumCPU, rep.LockFreeSpeedup)
+
+	if err := stats.WriteJSON(outPath, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

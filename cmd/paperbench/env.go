@@ -1,0 +1,21 @@
+package main
+
+import "runtime"
+
+// benchEnv is the measurement environment stamped into every BENCH_*.json
+// report. Committed baselines travel between machines and containers, so
+// each report records what it ran on: the toolchain, the scheduler width,
+// and — critically for any scaling claim — how many CPUs actually existed.
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+func captureEnv() benchEnv {
+	return benchEnv{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"testing"
 
 	"authmem"
@@ -34,10 +33,9 @@ type hotEntry struct {
 }
 
 type hotReport struct {
-	Note       string     `json:"note"`
-	GoVersion  string     `json:"go_version"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Entries    []hotEntry `json:"entries"`
+	Note string `json:"note"`
+	benchEnv
+	Entries []hotEntry `json:"entries"`
 }
 
 // seedBaselines holds ns/op and allocs/op measured at the seed revision of
@@ -61,8 +59,7 @@ func runHotpath(outPath string) {
 		Note: "Baseline columns were measured at the seed revision (before the " +
 			"table-driven GF(2^64) MAC, T-table AES, keystream batching, and the " +
 			"flat block arena) with identical benchmark shapes on the same machine.",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		benchEnv: captureEnv(),
 	}
 	add := func(name string, r testing.BenchmarkResult) {
 		e := hotEntry{

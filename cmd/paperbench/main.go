@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"authmem/internal/core"
 	"authmem/internal/ctr"
@@ -38,6 +40,8 @@ func main() {
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel")
 	writepath := flag.Bool("writepath", false, "run the write-pipeline benchmarks (deferred vs eager Merkle maintenance) and write the tracked JSON baseline")
 	writepathOut := flag.String("writepath-out", "BENCH_writepath.json", "output path for -writepath")
+	cores := flag.Bool("cores", false, "run the core-scaling matrix for the lock-free read path (GOMAXPROCS x shards x readers) and write the tracked JSON baseline")
+	coresOut := flag.String("cores-out", "BENCH_cores.json", "output path for -cores")
 	srvBench := flag.Bool("server", false, "run the serving-layer benchmarks (loopback and TCP through the client/server stack) and write the tracked JSON baseline")
 	srvBenchOut := flag.String("server-out", "BENCH_server.json", "output path for -server")
 	quick := flag.Bool("quick", false, "shrink the -writepath/-server workloads for a fast smoke run")
@@ -48,16 +52,41 @@ func main() {
 	runs := flag.Int("runs", 3, "Table 2: runs to average (paper averages 3)")
 	seed := flag.Int64("seed", 1, "base PRNG seed")
 	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected benchmarks to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected benchmarks to this file")
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *srvBench || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *srvBench = true, true, true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench = true, true, true, true, true, true, true, true, true
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settled live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	if *hotpath {
 		runHotpath(*hotpathOut)
@@ -67,6 +96,9 @@ func main() {
 	}
 	if *writepath {
 		runWritepath(*writepathOut, *quick)
+	}
+	if *cores {
+		runCores(*coresOut, *quick)
 	}
 	if *srvBench {
 		runServer(*srvBenchOut, *quick)

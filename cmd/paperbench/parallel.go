@@ -26,7 +26,6 @@ package main
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"time"
 
 	"authmem"
@@ -65,9 +64,8 @@ type parEntry struct {
 }
 
 type parReport struct {
-	Note        string     `json:"note"`
-	GoVersion   string     `json:"go_version"`
-	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Note string `json:"note"`
+	benchEnv
 	RegionBytes uint64     `json:"region_bytes"`
 	HotBytes    uint64     `json:"hot_bytes"`
 	Entries     []parEntry `json:"entries"`
@@ -150,8 +148,7 @@ func runParallel(outPath string) {
 			"capacity grows with the partition count and at 4 shards the hot set is served " +
 			"as already-verified plaintext. On multi-core hardware the per-shard locks add " +
 			"lock-level parallelism on top. gomaxprocs records the measurement environment.",
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		benchEnv:    captureEnv(),
 		RegionBytes: parRegionBytes,
 		HotBytes:    parStripes * parStripeBytes,
 	}

@@ -10,7 +10,6 @@ package main
 import (
 	"fmt"
 	"net"
-	"runtime"
 	"sync"
 	"time"
 
@@ -36,9 +35,8 @@ type serverEntry struct {
 }
 
 type serverReport struct {
-	Note        string        `json:"note"`
-	GoVersion   string        `json:"go_version"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Note string `json:"note"`
+	benchEnv
 	RegionBytes uint64        `json:"region_bytes"`
 	Shards      int           `json:"shards"`
 	Entries     []serverEntry `json:"entries"`
@@ -81,8 +79,7 @@ func runServer(outPath string, quick bool) {
 		Note: fmt.Sprintf("End-to-end wire-protocol ops (%d-block spans) through the "+
 			"client pool: loopback is an in-process net.Pipe (no kernel sockets), "+
 			"tcp is localhost. Each connection pipelines %d requests.", spanBlocks, depth),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		benchEnv:    captureEnv(),
 		RegionBytes: regionBytes,
 		Shards:      shards,
 	}

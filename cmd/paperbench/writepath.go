@@ -14,7 +14,6 @@ package main
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"testing"
 
 	"authmem"
@@ -32,8 +31,7 @@ func runWritepath(outPath string, quick bool) {
 		Note: "Baseline columns are the eager write path (tree path recomputed " +
 			"inside every Write), measured live in the same run over the same " +
 			fmt.Sprintf("%dMB region; the main columns run the write pipeline.", regionBytes>>20),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		benchEnv: captureEnv(),
 	}
 
 	newMem := func(scheme authmem.CounterScheme, pipeline bool) *authmem.Memory {

@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"testing"
+
+	"authmem/internal/core"
+	"authmem/internal/ctr"
+)
+
+// TestStrikeNoSilentEscapes is the lock-free read path's headline claim:
+// while readers are served warm plaintext with zero lock acquisitions,
+// faults landing on the very lines being read are detected, corrected, or
+// repaired — never masked by a stale-but-trusted cache line. Run under
+// -race in CI.
+func TestStrikeNoSilentEscapes(t *testing.T) {
+	for _, scheme := range []ctr.Kind{ctr.Monolithic, ctr.Delta} {
+		for _, placement := range []core.MACPlacement{core.MACInline, core.MACInECC} {
+			scheme, placement := scheme, placement
+			t.Run(scheme.String()+"/"+placement.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultStrike(core.Default(scheme, placement), 2000, 13)
+				rep, err := RunStrike(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Passed() {
+					t.Fatalf("strike failed: %d silent escapes, final sweep %s, lock-free hits %d:\n%+v",
+						rep.SilentEscapes, rep.FinalSweep, rep.LockFreeHits, rep)
+				}
+				if rep.FaultEvents == 0 {
+					t.Fatal("strike phase injected no faults")
+				}
+				if rep.Outcomes[Halted.String()]+rep.Outcomes[Corrected.String()]+rep.MetadataRepairs == 0 {
+					t.Fatal("no loud outcome observed by any reader and no repair ran; strikes never landed under traffic")
+				}
+				if rep.SlowPathReads == 0 {
+					t.Fatal("no read ever took the locked slow path; faults cannot have evicted warm lines")
+				}
+			})
+		}
+	}
+}
+
+// TestStrikeValidate pins the parameter checks.
+func TestStrikeValidate(t *testing.T) {
+	good := DefaultStrike(core.Default(ctr.Delta, core.MACInECC), 100, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*StrikeConfig){
+		func(c *StrikeConfig) { c.Readers = 0 },
+		func(c *StrikeConfig) { c.Strikes = 0 },
+		func(c *StrikeConfig) { c.ReadsPerReader = 0 },
+		func(c *StrikeConfig) { c.BurstMax = 0 },
+		func(c *StrikeConfig) { c.Shards = 3 },
+	}
+	for i, mut := range bad {
+		cfg := good
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

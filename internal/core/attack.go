@@ -243,7 +243,7 @@ func (e *Engine) Scrub() (ScrubReport, error) {
 	if err := e.Flush(); err != nil {
 		return ScrubReport{}, err
 	}
-	e.stats.ScrubPasses++
+	e.stats.ScrubPasses.Add(1)
 	var r ScrubReport
 	var flagged []uint64
 	e.store.forEach(func(blk uint64, ct []byte, meta *uint64, _ []byte) {
@@ -276,7 +276,7 @@ func (e *Engine) ParallelScrub(workers int) (ScrubReport, error) {
 	if chunks := e.store.chunkCount(); workers > chunks && chunks > 0 {
 		workers = chunks
 	}
-	e.stats.ScrubPasses++
+	e.stats.ScrubPasses.Add(1)
 
 	scanned := make([]int, workers)
 	flaggedBy := make([][]uint64, workers)
@@ -323,7 +323,7 @@ func (e *Engine) checkScrubbable() error {
 func (e *Engine) correctFlagged(flagged []uint64, r *ScrubReport) error {
 	for _, blk := range flagged {
 		r.ParityFlagged++
-		e.stats.ScrubFlagged++
+		e.stats.ScrubFlagged.Add(1)
 		midx := e.scheme.MetadataBlock(blk)
 		counter, err := e.decodeCounter(e.images.Load(midx), blk)
 		if err != nil {

@@ -42,7 +42,7 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 
 	if e.cfg.DisableEncryption {
 		for j := uint64(0); j < n; j++ {
-			e.stats.Reads++
+			e.stats.Reads.Add(1)
 			out := dst[j*BlockBytes : (j+1)*BlockBytes]
 			if ct := e.store.Ciphertext(first + j); ct != nil {
 				copy(out, ct)
@@ -57,7 +57,7 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 	var img []byte
 	for j := uint64(0); j < n; j++ {
 		blk := first + j
-		e.stats.Reads++
+		e.stats.Reads.Add(1)
 		if e.readCached(blk, dst[j*BlockBytes:(j+1)*BlockBytes]) {
 			continue
 		}
@@ -72,7 +72,7 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 				var verr error
 				img, verr = e.loadVerifiedImage(blk*BlockBytes, midx)
 				if verr != nil {
-					e.stats.IntegrityFailures++
+					e.stats.IntegrityFailures.Add(1)
 					return verr
 				}
 				if e.cc != nil {
@@ -83,7 +83,7 @@ func (e *Engine) ReadBlocks(addr uint64, dst []byte) error {
 		}
 		counter, err := e.decodeCounter(img, blk)
 		if err != nil {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return &IntegrityError{Addr: blk * BlockBytes, Reason: "counter metadata undecodable: " + err.Error(), Stage: StageCounter}
 		}
 		if _, err := e.readVerified(blk, counter, dst[j*BlockBytes:(j+1)*BlockBytes]); err != nil {
@@ -108,7 +108,7 @@ func (e *Engine) WriteBlocks(addr uint64, src []byte) error {
 
 	if e.cfg.DisableEncryption {
 		for j := uint64(0); j < n; j++ {
-			e.stats.Writes++
+			e.stats.Writes.Add(1)
 			copy(e.store.Materialize(first+j), src[j*BlockBytes:(j+1)*BlockBytes])
 		}
 		return nil
@@ -142,7 +142,7 @@ func (e *Engine) writeChunk(first, midx uint64, src []byte) error {
 	e.pendingFirst, e.pendingLast, e.hasPendingWrite = first, first+uint64(n)-1, true
 	reenc := false
 	for j := 0; j < n; j++ {
-		e.stats.Writes++
+		e.stats.Writes.Add(1)
 		out := e.scheme.Touch(first + uint64(j))
 		counters[j] = out.Counter
 		if out.Reencrypted {

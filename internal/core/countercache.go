@@ -1,6 +1,10 @@
 package core
 
-import "authmem/internal/ctr"
+import (
+	"sync/atomic"
+
+	"authmem/internal/ctr"
+)
 
 // Verified-counter cache: the functional analogue of the paper's Table 1
 // on-chip metadata cache (32KB, 8-way in the timing model).
@@ -16,6 +20,19 @@ import "authmem/internal/ctr"
 // the DRAM copy cannot retroactively corrupt the cached one. Decoded
 // counters are memoized per slot (in hardware the decode is combinational
 // logic; the memo models its zero marginal cost).
+//
+// Concurrency: entries carry the same epoch-versioned seqlock protocol as
+// the verified-block cache (blockcache.go) — an atomic generation counter
+// bumped odd/even around every mutation, an atomic tag, and an install-time
+// epoch stamp so whole-cache invalidation is an O(1) epoch bump. Unlike the
+// block cache, counter-cache hits stay under the shard lock: a metadata hit
+// only removes the tree walk, and everything after it (MAC verification,
+// keystream decryption, correction write-backs, the decode memo below)
+// mutates engine state the lock protects. The payload and memo are therefore
+// plain fields, accessed only with the lock held; the generation/epoch words
+// exist so evictions and flushes publish through one protocol across both
+// caches — the trust-boundary argument in DESIGN.md §6d covers them
+// together — and so the hit/miss counters can be snapshotted lock-free.
 //
 // Consistency points, all internal to the engine:
 //   - commitMetadata refreshes the cached copy (write-back cache behaviour);
@@ -35,7 +52,15 @@ import "authmem/internal/ctr"
 
 // counterCacheEntry is one direct-mapped cache line.
 type counterCacheEntry struct {
-	midx    uint64 // +1; 0 means empty
+	// gen/tag/epoch follow the blockCacheEntry seqlock protocol; tag is the
+	// metadata block index +1 (0 means empty).
+	gen   atomic.Uint64
+	tag   atomic.Uint64
+	epoch atomic.Uint64
+
+	// The payload below is guarded by the owning shard's lock (see the file
+	// comment); the generation protocol brackets its mutations so the line's
+	// validity is still decided by atomic words alone.
 	decoded uint64 // bitmap: counters[i] holds slot i's decoded counter
 	img     [BlockBytes]byte
 	// counters memoizes per-slot decodes of img. GroupBlocks covers every
@@ -47,8 +72,9 @@ type counterCacheEntry struct {
 type counterCache struct {
 	entries []counterCacheEntry
 	mask    uint64
-	hits    uint64
-	misses  uint64
+	epoch   atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 // newCounterCache builds a cache with the given power-of-two entry count.
@@ -62,25 +88,33 @@ func newCounterCache(entries int) *counterCache {
 	}
 }
 
-// lookup returns the entry holding midx, or nil on miss. The hit/miss
-// counters feed EngineStats.
+// resident reports whether e currently holds midx under cache epoch.
+func (c *counterCache) resident(e *counterCacheEntry, midx uint64) bool {
+	return e.tag.Load() == midx+1 && e.epoch.Load() == c.epoch.Load()
+}
+
+// lookup returns the entry holding midx, or nil on miss. Caller holds the
+// owning lock. The hit/miss counters feed EngineStats.
 func (c *counterCache) lookup(midx uint64) *counterCacheEntry {
 	e := &c.entries[midx&c.mask]
-	if e.midx == midx+1 {
-		c.hits++
+	if c.resident(e, midx) {
+		c.hits.Add(1)
 		return e
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil
 }
 
 // insert installs a copy of the just-verified image for midx, displacing
-// whatever shared its slot.
+// whatever shared its slot. Caller holds the owning lock.
 func (c *counterCache) insert(midx uint64, img []byte) {
 	e := &c.entries[midx&c.mask]
-	e.midx = midx + 1
+	e.gen.Add(1)
+	e.tag.Store(midx + 1)
+	e.epoch.Store(c.epoch.Load())
 	e.decoded = 0
 	copy(e.img[:], img)
+	e.gen.Add(1)
 }
 
 // update refreshes midx's cached copy if resident (write-back on commit).
@@ -88,31 +122,35 @@ func (c *counterCache) insert(midx uint64, img []byte) {
 // must not evict the read working set.
 func (c *counterCache) update(midx uint64, img []byte) {
 	e := &c.entries[midx&c.mask]
-	if e.midx != midx+1 {
+	if !c.resident(e, midx) {
 		return
 	}
+	e.gen.Add(1)
 	e.decoded = 0
 	copy(e.img[:], img)
+	e.gen.Add(1)
 }
 
-// evict drops midx if resident.
+// evict drops midx if resident. Caller holds the owning lock.
 func (c *counterCache) evict(midx uint64) {
 	e := &c.entries[midx&c.mask]
-	if e.midx == midx+1 {
-		e.midx = 0
-		e.decoded = 0
+	if !c.resident(e, midx) {
+		return
 	}
+	e.gen.Add(1)
+	e.tag.Store(0)
+	e.decoded = 0
+	e.gen.Add(1)
 }
 
-// flush empties the cache.
+// flush empties the cache in O(1) by advancing the epoch (see
+// blockCache.flush for the linearization argument).
 func (c *counterCache) flush() {
-	for i := range c.entries {
-		c.entries[i].midx = 0
-		c.entries[i].decoded = 0
-	}
+	c.epoch.Add(1)
 }
 
 // counter returns the decoded counter for slot, memoizing the decode.
+// Caller holds the owning lock.
 func (e *counterCacheEntry) counter(eng *Engine, blk uint64) (uint64, error) {
 	slot := eng.counterSlot(blk)
 	if e.decoded>>slot&1 == 1 {

@@ -88,7 +88,9 @@ type Engine struct {
 	reencKS      []*keystream.Cipher
 	reencStats   []EngineStats
 
-	stats EngineStats
+	// stats is the atomic event bank (stats.go): the lock-free read path and
+	// stats snapshots touch it concurrently with locked traffic.
+	stats engineCounters
 }
 
 // EngineStats aggregates functional-engine events.
@@ -125,6 +127,11 @@ type EngineStats struct {
 
 	// Parallel re-encryption events (zero unless EnableParallelReencrypt).
 	ParallelReencryptWorkers uint64 // workers dispatched by parallel group sweeps
+
+	// Lock-free read-path events (see blockcache.go and ShardedEngine).
+	LockFreeHits   uint64 // warm reads served with zero lock acquisitions
+	SeqlockRetries uint64 // torn-read restarts across all seqlock probes
+	SlowPathReads  uint64 // sharded reads that had to take a shard lock
 }
 
 // Add folds o's counts into s. Per-shard stats merge through this on read,
@@ -152,6 +159,9 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.WriteCombines += o.WriteCombines
 	s.DeferredLeafFlushes += o.DeferredLeafFlushes
 	s.ParallelReencryptWorkers += o.ParallelReencryptWorkers
+	s.LockFreeHits += o.LockFreeHits
+	s.SeqlockRetries += o.SeqlockRetries
+	s.SlowPathReads += o.SlowPathReads
 }
 
 // ReadInfo describes one successful read.
@@ -230,16 +240,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns cumulative event counts.
+// Stats returns cumulative event counts. Every counter is atomic, so the
+// snapshot never takes a lock and never contends with the read path.
 func (e *Engine) Stats() EngineStats {
-	s := e.stats
+	s := e.stats.snapshot()
 	if e.cc != nil {
-		s.MetaCacheHits = e.cc.hits
-		s.MetaCacheMisses = e.cc.misses
+		s.MetaCacheHits = e.cc.hits.Load()
+		s.MetaCacheMisses = e.cc.misses.Load()
 	}
 	if e.bc != nil {
-		s.DataCacheHits = e.bc.hits
-		s.DataCacheMisses = e.bc.misses
+		s.DataCacheHits = e.bc.hits.Load()
+		s.DataCacheMisses = e.bc.misses.Load()
 	}
 	return s
 }
@@ -281,6 +292,7 @@ func (e *Engine) EnableBlockCache(entries int) error {
 // readCached serves blk from the verified-block cache when resident and not
 // quarantined, copying the trusted plaintext into dst. Quarantined blocks
 // always fall through to the verifying path so they are refused loudly.
+// Caller holds the owning lock (or owns the engine outright).
 func (e *Engine) readCached(blk uint64, dst []byte) bool {
 	if e.bc == nil {
 		return false
@@ -290,11 +302,34 @@ func (e *Engine) readCached(blk uint64, dst []byte) bool {
 			return false
 		}
 	}
-	ent := e.bc.lookup(blk)
-	if ent == nil {
+	return e.bc.lookup(blk, dst)
+}
+
+// ReadLockFree attempts to serve the (checked, shard-local) address from the
+// verified-block cache without taking any lock, banking the read into the
+// atomic counters on success. It is the ShardedEngine warm-read fast path:
+// a hit costs zero lock acquisitions and zero allocations. A miss — cold
+// line, epoch-flushed line, or a seqlock retry budget exhausted under an
+// active writer — returns false and the caller takes the locked slow path.
+//
+// No quarantine check is needed: quarantineBlock evicts the line under the
+// writer protocol before the block is poisoned, and every insert path first
+// releases the block from quarantine, so a resident line implies a healthy
+// block (see blockcache.go).
+func (e *Engine) ReadLockFree(addr uint64, dst []byte) bool {
+	if e.bc == nil || len(dst) != BlockBytes {
 		return false
 	}
-	copy(dst, ent.pt[:])
+	hit, retries := e.bc.probe(addr/BlockBytes, dst)
+	if retries > 0 {
+		e.stats.SeqlockRetries.Add(uint64(retries))
+	}
+	if !hit {
+		return false
+	}
+	e.stats.Reads.Add(1)
+	e.stats.LockFreeHits.Add(1)
+	e.bc.hits.Add(1)
 	return true
 }
 
@@ -337,7 +372,7 @@ func (e *Engine) Write(addr uint64, plaintext []byte) error {
 		return fmt.Errorf("core: write must be %d bytes, got %d", BlockBytes, len(plaintext))
 	}
 	blk := addr / BlockBytes
-	e.stats.Writes++
+	e.stats.Writes.Add(1)
 
 	if e.cfg.DisableEncryption {
 		copy(e.store.Materialize(blk), plaintext)
@@ -434,7 +469,7 @@ func (e *Engine) commitMetadata(midx uint64) error {
 // the group under its old counter, re-pad the whole group under the shared
 // new counter in one batched XORBlocks sweep, and reinstall the results.
 func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCounter uint64) {
-	e.stats.GroupReencrypts++
+	e.stats.GroupReencrypts.Add(1)
 	n := len(oldCounters)
 	if rem := e.cfg.DataBlocks() - groupStart; uint64(n) > rem {
 		n = int(rem)
@@ -460,6 +495,7 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 	// on the new counter, any read of them fails the MAC until software
 	// rewrites the block.
 	var skip [ctr.GroupBlocks]bool
+	var vst EngineStats // correction events, published once after the loop
 	for j := 0; j < n; j++ {
 		blk := groupStart + uint64(j)
 		pt := buf[j*BlockBytes : (j+1)*BlockBytes]
@@ -468,7 +504,7 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 			clear(pt)
 			continue
 		}
-		if !e.verifyStored(blk, ct, oldCounters[j], &e.stats) {
+		if !e.verifyStored(blk, ct, oldCounters[j], &vst) {
 			e.quarantineBlock(blk)
 			skip[j] = true
 			clear(pt)
@@ -478,6 +514,7 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 			panic(err) // sizes are fixed; cannot fail
 		}
 	}
+	e.stats.merge(vst)
 
 	// One batched pad sweep re-encrypts the whole group in place.
 	if err := e.ks.XORBlocks(buf, buf, groupStart*BlockBytes, newCounter); err != nil {
@@ -549,7 +586,7 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 		return info, fmt.Errorf("core: read buffer must be %d bytes, got %d", BlockBytes, len(dst))
 	}
 	blk := addr / BlockBytes
-	e.stats.Reads++
+	e.stats.Reads.Add(1)
 
 	if e.cfg.DisableEncryption {
 		if ct := e.store.Ciphertext(blk); ct != nil {
@@ -574,7 +611,7 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 		if ent := e.cc.lookup(midx); ent != nil {
 			counter, err := ent.counter(e, blk)
 			if err != nil {
-				e.stats.IntegrityFailures++
+				e.stats.IntegrityFailures.Add(1)
 				return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error(), Stage: StageCounter}
 			}
 			return e.readVerified(blk, counter, dst)
@@ -582,7 +619,7 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	}
 	img, verr := e.loadVerifiedImage(addr, midx)
 	if verr != nil {
-		e.stats.IntegrityFailures++
+		e.stats.IntegrityFailures.Add(1)
 		return info, verr
 	}
 	if e.cc != nil {
@@ -590,7 +627,7 @@ func (e *Engine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	}
 	counter, err := e.decodeCounter(img, blk)
 	if err != nil {
-		e.stats.IntegrityFailures++
+		e.stats.IntegrityFailures.Add(1)
 		return info, &IntegrityError{Addr: addr, Reason: "counter metadata undecodable: " + err.Error(), Stage: StageCounter}
 	}
 	return e.readVerified(blk, counter, dst)
@@ -605,7 +642,7 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 
 	if e.quarantine != nil {
 		if _, bad := e.quarantine[blk]; bad {
-			e.stats.QuarantineRefusals++
+			e.stats.QuarantineRefusals.Add(1)
 			return info, &QuarantineError{Addr: addr}
 		}
 	}
@@ -613,12 +650,12 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 	ct := e.store.Ciphertext(blk)
 	if ct == nil {
 		if counter != 0 {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return info, &IntegrityError{Addr: addr, Reason: "counter advanced but block missing", Stage: StageData}
 		}
 		clear(dst)
 		info.Fresh = true
-		e.stats.FreshReads++
+		e.stats.FreshReads.Add(1)
 		return info, nil
 	}
 
@@ -631,13 +668,13 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 		}
 		info.HardwareChecks = out.HardwareChecks
 		if out.Status != macecc.OK {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed (tamper or uncorrectable fault)", Stage: StageData}
 		}
 		info.CorrectedDataBits = out.CorrectedDataBits
 		info.CorrectedMACBits = out.CorrectedMACBits
-		e.stats.CorrectedDataBits += uint64(out.CorrectedDataBits)
-		e.stats.CorrectedMACBits += uint64(out.CorrectedMACBits)
+		e.stats.CorrectedDataBits.Add(uint64(out.CorrectedDataBits))
+		e.stats.CorrectedMACBits.Add(uint64(out.CorrectedMACBits))
 		e.store.SetMeta(blk, uint64(meta)) // corrected bits written back
 
 	default: // MACInline baseline: SEC-DED first, then the MAC.
@@ -646,17 +683,17 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 			return info, err
 		}
 		if !outcome.Clean() {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return info, &IntegrityError{Addr: addr, Reason: "uncorrectable SEC-DED memory error", Stage: StageData}
 		}
 		info.CorrectedDataBits = outcome.CorrectedBits
-		e.stats.SECDEDCorrected += uint64(outcome.CorrectedBits)
+		e.stats.SECDEDCorrected.Add(uint64(outcome.CorrectedBits))
 		okTag, err := e.key.Verify(ct, addr, counter, e.store.Meta(blk))
 		if err != nil {
 			return info, err
 		}
 		if !okTag {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed", Stage: StageData}
 		}
 	}
@@ -666,7 +703,7 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 	// tree walk BMTs exist to avoid.
 	if e.cfg.DataTree {
 		if err := e.tr.VerifyLeafFast(blk, ct); err != nil {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return info, &IntegrityError{Addr: addr, Reason: "data block failed integrity tree check: " + err.Error(), Stage: StageDataTree}
 		}
 	}

@@ -69,14 +69,14 @@ func buildFixture() {
 // guard.
 func FuzzPersistRoundTrip(f *testing.F) {
 	f.Add([]byte{}, uint16(0))
-	f.Add([]byte{}, uint16(1))            // drop one trailing byte
-	f.Add([]byte{}, uint16(4096))         // deep truncation
-	f.Add([]byte{0x00, 0x00}, uint16(0))  // magic bit
-	f.Add([]byte{0x48, 0x00}, uint16(0))  // config header bit
-	f.Add([]byte{0x00, 0x04}, uint16(0))  // data section bit
-	f.Add([]byte{0xF0, 0x7F}, uint16(0))  // late-image (tree) bit
+	f.Add([]byte{}, uint16(1))                                   // drop one trailing byte
+	f.Add([]byte{}, uint16(4096))                                // deep truncation
+	f.Add([]byte{0x00, 0x00}, uint16(0))                         // magic bit
+	f.Add([]byte{0x48, 0x00}, uint16(0))                         // config header bit
+	f.Add([]byte{0x00, 0x04}, uint16(0))                         // data section bit
+	f.Add([]byte{0xF0, 0x7F}, uint16(0))                         // late-image (tree) bit
 	f.Add([]byte{0x20, 0x03, 0x21, 0x03, 0x22, 0x03}, uint16(0)) // burst
-	f.Add([]byte{0x10, 0x01}, uint16(64)) // flip + truncate together
+	f.Add([]byte{0x10, 0x01}, uint16(64))                        // flip + truncate together
 
 	f.Fuzz(func(t *testing.T, spec []byte, trunc uint16) {
 		fixtureOnce.Do(buildFixture)

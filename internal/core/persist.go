@@ -235,7 +235,7 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 	for _, m := range midxs {
 		img := e.images.Load(m)
 		if err := e.tr.VerifyLeafFast(e.metaLeaf(m), img); err != nil {
-			e.stats.IntegrityFailures++
+			e.stats.IntegrityFailures.Add(1)
 			return nil, &IntegrityError{
 				Addr:   m * BlockBytes,
 				Reason: "persistent counter block failed tree verification: " + err.Error(),

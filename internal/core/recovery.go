@@ -116,7 +116,7 @@ func (e *Engine) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 	// Tier 1: counter-plane failures are repairable from trusted state.
 	if e.recovery.RepairMetadata && ie.Stage == StageCounter {
 		if rerr := e.repairMetadata(); rerr == nil {
-			e.stats.MetadataRepairs++
+			e.stats.MetadataRepairs.Add(1)
 			ri.MetadataRepaired = true
 			info, err = e.Read(addr, dst)
 			ri.ReadInfo = info
@@ -128,7 +128,7 @@ func (e *Engine) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 
 	// Tier 2: bounded re-read retries for transient faults.
 	for t := 0; t < e.recovery.MaxRetries; t++ {
-		e.stats.RetriedReads++
+		e.stats.RetriedReads.Add(1)
 		ri.Retries++
 		if e.retryHook != nil {
 			e.retryHook(blk)
@@ -136,7 +136,7 @@ func (e *Engine) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 		info, err = e.Read(addr, dst)
 		ri.ReadInfo = info
 		if err == nil {
-			e.stats.RetryRecoveries++
+			e.stats.RetryRecoveries.Add(1)
 			ri.RetryRecovered = true
 			return ri, nil
 		}
@@ -158,7 +158,7 @@ func (e *Engine) quarantineBlock(blk uint64) {
 	}
 	if _, ok := e.quarantine[blk]; !ok {
 		e.quarantine[blk] = struct{}{}
-		e.stats.Quarantined++
+		e.stats.Quarantined.Add(1)
 	}
 }
 

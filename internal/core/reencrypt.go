@@ -164,10 +164,10 @@ func (e *Engine) reencryptGroupParallel(groupStart uint64, oldCounters []uint64,
 	// Serial epilogue: merge worker stats and apply quarantine verdicts
 	// (map + block-cache mutations stay single-threaded).
 	for w := 0; w < used; w++ {
-		e.stats.Add(e.reencStats[w])
+		e.stats.merge(e.reencStats[w])
 		e.reencStats[w] = EngineStats{}
 	}
-	e.stats.ParallelReencryptWorkers += uint64(used)
+	e.stats.ParallelReencryptWorkers.Add(uint64(used))
 	for j := 0; j < n; j++ {
 		if skip[j] {
 			e.quarantineBlock(groupStart + uint64(j))

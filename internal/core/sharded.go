@@ -98,6 +98,11 @@ type ShardedEngine struct {
 	cfg        Config // global configuration (full region)
 	shards     []*engineShard
 	shardBytes uint64 // bytes per shard
+	// lockFree enables the zero-lock warm-read fast path (on by default).
+	// Reads probe the owning shard's seqlock-protected verified-block cache
+	// before touching the shard mutex; see blockcache.go for the protocol
+	// and SetLockFreeReads for the diagnostic switch.
+	lockFree bool
 }
 
 // ShardKeyMaterial derives shard idx's 40-byte key material from the master
@@ -170,6 +175,7 @@ func NewShardedEngine(cfg Config, shards int) (*ShardedEngine, error) {
 		cfg:        cfg,
 		shards:     make([]*engineShard, shards),
 		shardBytes: cfg.RegionBytes / uint64(shards),
+		lockFree:   true,
 	}
 	for i := range s.shards {
 		eng, err := NewEngine(shardConfig(cfg, shards, i))
@@ -254,26 +260,50 @@ func (s *ShardedEngine) Write(addr uint64, plaintext []byte) error {
 	return offsetErr(err, sh.base)
 }
 
-// Read verifies and decrypts one block, locking only the owning shard.
+// SetLockFreeReads enables or disables the zero-lock warm-read fast path
+// (enabled by default). It exists for benchmarking and diagnosis — the
+// core-scaling matrix (paperbench -cores) measures the locked baseline by
+// turning it off. Call before concurrent traffic starts; it is not
+// synchronized against in-flight operations.
+func (s *ShardedEngine) SetLockFreeReads(enabled bool) { s.lockFree = enabled }
+
+// LockFreeReads reports whether the warm-read fast path is enabled.
+func (s *ShardedEngine) LockFreeReads() bool { return s.lockFree }
+
+// Read verifies and decrypts one block. A warm read — the block resident in
+// the owning shard's verified-block cache — is served lock-free via the
+// seqlock probe, with zero lock acquisitions and zero allocations; anything
+// else locks only the owning shard (counted in Stats().SlowPathReads).
 func (s *ShardedEngine) Read(addr uint64, dst []byte) (ReadInfo, error) {
 	if err := s.checkAddr(addr); err != nil {
 		return ReadInfo{}, err
 	}
 	sh, local := s.route(addr)
+	if s.lockFree && sh.eng.ReadLockFree(local, dst) {
+		return ReadInfo{}, nil
+	}
 	sh.mu.Lock()
+	sh.eng.stats.SlowPathReads.Add(1)
 	info, err := sh.eng.Read(local, dst)
 	sh.mu.Unlock()
 	return info, offsetErr(err, sh.base)
 }
 
 // ReadRecover reads with the recovery ladder, locking only the owning
-// shard. Metadata repair triggered by the ladder stays shard-local.
+// shard. Metadata repair triggered by the ladder stays shard-local. A warm
+// cache hit short-circuits the ladder lock-free: trusted plaintext needs no
+// recovery, and a quarantined or tampered block is never resident (see
+// blockcache.go), so the ladder only ever runs for reads that truly verify.
 func (s *ShardedEngine) ReadRecover(addr uint64, dst []byte) (RecoverInfo, error) {
 	if err := s.checkAddr(addr); err != nil {
 		return RecoverInfo{}, err
 	}
 	sh, local := s.route(addr)
+	if s.lockFree && sh.eng.ReadLockFree(local, dst) {
+		return RecoverInfo{}, nil
+	}
 	sh.mu.Lock()
+	sh.eng.stats.SlowPathReads.Add(1)
 	info, err := sh.eng.ReadRecover(local, dst)
 	sh.mu.Unlock()
 	return info, offsetErr(err, sh.base)
@@ -353,14 +383,75 @@ func (s *ShardedEngine) spanFan(segs []segment, op func(sh *engineShard, local u
 	return nil
 }
 
+// bankLockFreeSpan publishes a span-read's banked lock-free events to sh.
+func bankLockFreeSpan(sh *engineShard, hits, retries uint64) {
+	if hits > 0 {
+		sh.eng.stats.Reads.Add(hits)
+		sh.eng.stats.LockFreeHits.Add(hits)
+		sh.eng.bc.hits.Add(hits)
+	}
+	if retries > 0 {
+		sh.eng.stats.SeqlockRetries.Add(retries)
+	}
+}
+
+// readBlocksLockFree serves the longest prefix of a checked span from the
+// per-shard verified-block caches without taking any lock, and returns the
+// number of bytes served. Each block served is an individually consistent
+// seqlock snapshot — the same per-block linearization the cross-shard
+// fan-out already has at segment granularity. Events are banked per shard
+// and only for blocks actually served, so the locked path that picks up the
+// remainder never double-counts.
+func (s *ShardedEngine) readBlocksLockFree(addr uint64, dst []byte) int {
+	var (
+		served      int
+		cur         *engineShard
+		hits, tears uint64
+	)
+	for served < len(dst) {
+		sh, local := s.route(addr + uint64(served))
+		if sh != cur {
+			if cur != nil {
+				bankLockFreeSpan(cur, hits, tears)
+			}
+			cur, hits, tears = sh, 0, 0
+			if sh.eng.bc == nil {
+				break
+			}
+		}
+		hit, r := sh.eng.bc.probe(local/BlockBytes, dst[served:served+BlockBytes])
+		tears += uint64(r)
+		if !hit {
+			break
+		}
+		hits++
+		served += BlockBytes
+	}
+	if cur != nil {
+		bankLockFreeSpan(cur, hits, tears)
+	}
+	return served
+}
+
 // ReadBlocks verifies and decrypts a contiguous span, fanning shard
 // segments out concurrently. The returned error is the lowest-addressed
-// failure; see spanFan for cross-shard atomicity semantics.
+// failure; see spanFan for cross-shard atomicity semantics. A warm prefix
+// of the span is served lock-free block by block; only the cold remainder
+// takes shard locks.
 func (s *ShardedEngine) ReadBlocks(addr uint64, dst []byte) error {
 	if err := s.checkSpan(addr, len(dst), "read"); err != nil {
 		return err
 	}
+	if s.lockFree {
+		served := s.readBlocksLockFree(addr, dst)
+		if served == len(dst) {
+			return nil
+		}
+		addr += uint64(served)
+		dst = dst[served:]
+	}
 	return s.spanFan(s.segments(addr, len(dst)), func(sh *engineShard, local uint64, off, n int) error {
+		sh.eng.stats.SlowPathReads.Add(uint64(n / BlockBytes))
 		return sh.eng.ReadBlocks(local, dst[off:off+n])
 	})
 }
@@ -376,14 +467,15 @@ func (s *ShardedEngine) WriteBlocks(addr uint64, src []byte) error {
 	})
 }
 
-// Stats merges per-shard counters on read. No shared hot-path state exists,
-// so observation costs the observer, not the traffic.
+// Stats merges per-shard counters on read. Every engine counter is atomic,
+// so the merge takes no locks and never contends with the read path —
+// observation costs the observer, not the traffic. The snapshot is not a
+// single linearization point across shards (counters advance while it is
+// taken), which is the standard contract for live performance counters.
 func (s *ShardedEngine) Stats() EngineStats {
 	var total EngineStats
 	for _, sh := range s.shards {
-		sh.mu.Lock()
 		total.Add(sh.eng.Stats())
-		sh.mu.Unlock()
 	}
 	return total
 }
@@ -589,6 +681,19 @@ func (s *ShardedEngine) TamperCounterForAddr(addr uint64, bit int) error {
 // root export, scrub) fire per shard automatically; FlushAll is for callers
 // that want a region-wide quiescent point on demand.
 func (s *ShardedEngine) FlushAll() error {
+	// Quiescent fast path: each shard's write pipe keeps an atomic dirty
+	// gauge, so an already-flushed region answers without locks, goroutines,
+	// or allocations — FlushAll in a read-mostly loop costs a few loads.
+	dirty := false
+	for _, sh := range s.shards {
+		if sh.eng.flushPending() {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return nil
+	}
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {

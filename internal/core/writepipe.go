@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Write pipeline: deferred Merkle maintenance with dirty-leaf write
 // combining.
@@ -55,6 +58,10 @@ type writePipe struct {
 	dirty    []uint64 // dirty metadata-block indices, unordered
 	bits     []uint64 // membership bitset over metadata blocks
 	leafBuf  []uint64 // scratch for the batched tree update
+	// pending mirrors len(dirty) atomically, so ShardedEngine.FlushAll can
+	// skip quiescent shards without taking their locks (and without
+	// allocating flush goroutines when the whole region is clean).
+	pending atomic.Uint64
 }
 
 func newWritePipe(metaBlocks uint64, maxDirty int) *writePipe {
@@ -80,6 +87,7 @@ func (p *writePipe) markDirty(midx uint64) (combined, full bool) {
 	}
 	p.bits[midx/64] |= 1 << (midx % 64)
 	p.dirty = append(p.dirty, midx)
+	p.pending.Store(uint64(len(p.dirty)))
 	return false, len(p.dirty) >= p.maxDirty
 }
 
@@ -92,6 +100,7 @@ func (p *writePipe) clear(midx uint64) {
 			last := len(p.dirty) - 1
 			p.dirty[i] = p.dirty[last]
 			p.dirty = p.dirty[:last]
+			p.pending.Store(uint64(last))
 			return
 		}
 	}
@@ -105,6 +114,7 @@ func (p *writePipe) reset() {
 		p.bits[m/64] &^= 1 << (m % 64)
 	}
 	p.dirty = p.dirty[:0]
+	p.pending.Store(0)
 }
 
 // EnableWritePipeline attaches the deferred-maintenance write pipeline with
@@ -132,6 +142,15 @@ func (e *Engine) DirtyLeaves() int {
 	return len(e.wp.dirty)
 }
 
+// flushPending reports, without any lock, whether this engine has deferred
+// Merkle maintenance outstanding. A false answer is a stable quiescence
+// witness for operations that happened-before the call; writes landing
+// concurrently may dirty leaves afterwards, exactly as they may after a
+// locked flush returns.
+func (e *Engine) flushPending() bool {
+	return e.wp != nil && e.wp.pending.Load() > 0
+}
+
 // deferCommit is the pipeline's counterpart of commitMetadata: it stages
 // midx's image from the trusted scheme state machine into the stored copy
 // and the counter cache, marks the leaf dirty, and defers the tree path
@@ -144,7 +163,7 @@ func (e *Engine) deferCommit(midx uint64) error {
 	}
 	combined, full := e.wp.markDirty(midx)
 	if combined {
-		e.stats.WriteCombines++
+		e.stats.WriteCombines.Add(1)
 	}
 	if full {
 		return e.Flush()
@@ -171,7 +190,7 @@ func (e *Engine) Flush() error {
 		}
 		wp.leafBuf = append(wp.leafBuf, e.metaLeaf(midx))
 	}
-	e.stats.DeferredLeafFlushes += uint64(len(wp.dirty))
+	e.stats.DeferredLeafFlushes.Add(uint64(len(wp.dirty)))
 	wp.reset()
 	return e.tr.UpdateLeaves(wp.leafBuf, e.leafImage)
 }
@@ -199,7 +218,7 @@ func (e *Engine) flushDirtyLeaf(midx uint64) ([]byte, bool) {
 		return nil, false
 	}
 	e.wp.clear(midx)
-	e.stats.DeferredLeafFlushes++
+	e.stats.DeferredLeafFlushes.Add(1)
 	if err := e.tr.UpdateLeafFast(e.metaLeaf(midx), stored); err != nil {
 		panic(fmt.Errorf("core: dirty-leaf flush: %w", err)) // geometry is fixed; cannot fail
 	}

@@ -24,11 +24,11 @@ import (
 // itself" edge.
 func FuzzVerifyAndCorrect(f *testing.F) {
 	f.Add([]byte{}, uint64(0), uint64(1))
-	f.Add([]byte{0x00, 0x00}, uint64(64), uint64(2))                        // single data bit
-	f.Add([]byte{0x07, 0x00, 0x3A, 0x01}, uint64(128), uint64(3))           // two data bits
-	f.Add([]byte{0x00, 0x02, 0x10, 0x02}, uint64(192), uint64(9))           // meta bits (tag)
-	f.Add([]byte{0x38, 0x02, 0x3F, 0x02}, uint64(256), uint64(1))           // Hamming/check bits
-	f.Add([]byte{0x01, 0x00, 0x01, 0x00}, uint64(0), uint64(5))             // cancelling pair
+	f.Add([]byte{0x00, 0x00}, uint64(64), uint64(2))                              // single data bit
+	f.Add([]byte{0x07, 0x00, 0x3A, 0x01}, uint64(128), uint64(3))                 // two data bits
+	f.Add([]byte{0x00, 0x02, 0x10, 0x02}, uint64(192), uint64(9))                 // meta bits (tag)
+	f.Add([]byte{0x38, 0x02, 0x3F, 0x02}, uint64(256), uint64(1))                 // Hamming/check bits
+	f.Add([]byte{0x01, 0x00, 0x01, 0x00}, uint64(0), uint64(5))                   // cancelling pair
 	f.Add(bytes.Repeat([]byte{0x11, 0x00, 0x99, 0x01}, 4), uint64(64), uint64(7)) // burst
 
 	material := make([]byte, 24)

@@ -227,18 +227,36 @@ func (c *conn) dispatchLoop() {
 		// The worker owns its own copy of the batch slice.
 		batch := make([]request, len(c.batch))
 		copy(batch, c.batch)
-		c.srv.sem <- struct{}{}
-		c.workerWG.Add(1)
-		go func() {
-			defer func() {
-				<-c.srv.sem
-				c.workerWG.Done()
-			}()
-			c.execute(batch)
-		}()
+		c.dispatch(batch)
 	}
 	c.workerWG.Wait()
 	close(c.respCh)
+}
+
+// dispatch hands a coalesced batch to an executor: the worker pinned to its
+// shard when the whole span lives in one shard and that queue has room,
+// else a shared-pool goroutine. Enqueueing to a pinned worker never blocks
+// — a full queue falls back to the pool so one hot shard cannot stall the
+// dispatcher (and with it every other shard's traffic on this connection).
+func (c *conn) dispatch(batch []request) {
+	c.workerWG.Add(1)
+	if q := c.srv.shardQueueFor(batch); q != nil {
+		select {
+		case q <- shardJob{c: c, batch: batch}:
+			c.srv.ctr.affinityDispatched.Add(1)
+			return
+		default:
+			c.srv.ctr.affinityBypassed.Add(1)
+		}
+	}
+	c.srv.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-c.srv.sem
+			c.workerWG.Done()
+		}()
+		c.execute(batch)
+	}()
 }
 
 // expire enforces the per-request queue deadline. Expired requests are

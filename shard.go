@@ -56,6 +56,14 @@ func (s *ShardedMemory) Size() uint64 { return s.eng.ShardBytes() * uint64(s.eng
 // ShardOf returns the index of the shard owning addr.
 func (s *ShardedMemory) ShardOf(addr uint64) int { return s.eng.ShardOf(addr) }
 
+// SetLockFreeReads enables or disables the zero-lock warm-read fast path
+// (enabled by default) — a benchmarking/diagnosis switch; see
+// core.ShardedEngine.SetLockFreeReads. Call before concurrent traffic.
+func (s *ShardedMemory) SetLockFreeReads(enabled bool) { s.eng.SetLockFreeReads(enabled) }
+
+// LockFreeReads reports whether the warm-read fast path is enabled.
+func (s *ShardedMemory) LockFreeReads() bool { return s.eng.LockFreeReads() }
+
 // Write encrypts and stores one 64-byte block, locking only the owning
 // shard. See Memory.Write.
 func (s *ShardedMemory) Write(addr uint64, block []byte) error {
