@@ -122,6 +122,14 @@ type Config struct {
 	// themselves — ~60x more tree storage and a tree walk per access.
 	// Provided as the comparative baseline the paper's §2.2 discusses.
 	ClassicDataTree bool
+	// CryptoBackend selects the cipher/MAC implementation: "ttable"
+	// (from-scratch T-table AES, the default), "stdlib" (crypto/aes,
+	// picks up AES-NI), or "batch8" (crypto/aes with batch kernels sized
+	// for whole counter groups). Empty consults the
+	// AUTHMEM_CRYPTO_BACKEND environment variable, then defaults to
+	// "ttable". All backends produce bit-identical stored images, so a
+	// region written under one verifies under any other.
+	CryptoBackend string
 }
 
 // KeySize is the required Config.Key length.
@@ -161,6 +169,7 @@ func (c Config) internal() (core.Config, error) {
 		CorrectBits:        c.CorrectBits,
 		KeyMaterial:        c.Key,
 		DataTree:           c.ClassicDataTree,
+		CryptoBackend:      c.CryptoBackend,
 	}
 	if cfg.MetadataCacheBytes == 0 {
 		cfg.MetadataCacheBytes = 32 << 10

@@ -63,6 +63,7 @@ func main() {
 	budget := flag.Int("budget", 2, "MAC-in-ECC flip-and-check budget (bits)")
 	scheme := flag.String("scheme", "delta", "campaign counter scheme: monolithic|split|delta|dual")
 	placement := flag.String("placement", "macecc", "campaign MAC placement: inline|macecc")
+	backend := flag.String("backend", "", "crypto backend for campaign engines: ttable|stdlib|batch8 (default: $AUTHMEM_CRYPTO_BACKEND, then ttable)")
 	app := flag.String("app", "facesim", "campaign workload application (see internal/workload)")
 	rate := flag.Float64("rate", 0.15, "campaign per-operation fault probability")
 	burst := flag.Int("burst", 4, "campaign max bit flips per fault event")
@@ -70,15 +71,15 @@ func main() {
 	flag.Parse()
 
 	if *runStrike {
-		mainStrike(*trials, *seed, *budget, *scheme, *placement, *burst, *shards, *workers, *out)
+		mainStrike(*trials, *seed, *budget, *scheme, *placement, *backend, *burst, *shards, *workers, *out)
 		return
 	}
 	if *runConcurrent {
-		mainConcurrent(*trials, *seed, *budget, *scheme, *placement, *rate, *burst, *shards, *workers, *out)
+		mainConcurrent(*trials, *seed, *budget, *scheme, *placement, *backend, *rate, *burst, *shards, *workers, *out)
 		return
 	}
 	if *runCampaign {
-		mainCampaign(*trials, *seed, *budget, *scheme, *placement, *app, *rate, *burst, *out)
+		mainCampaign(*trials, *seed, *budget, *scheme, *placement, *backend, *app, *rate, *burst, *out)
 		return
 	}
 
@@ -115,7 +116,7 @@ var schemes = map[string]ctr.Kind{
 	"dual":       ctr.DualLength,
 }
 
-func mainCampaign(ops int, seed int64, budget int, scheme, placement, app string, rate float64, burst int, out string) {
+func mainCampaign(ops int, seed int64, budget int, scheme, placement, backend, app string, rate float64, burst int, out string) {
 	kind, ok := schemes[scheme]
 	if !ok {
 		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
@@ -131,6 +132,7 @@ func mainCampaign(ops int, seed int64, budget int, scheme, placement, app string
 	}
 	ecfg := core.Default(kind, place)
 	ecfg.CorrectBits = budget
+	ecfg.CryptoBackend = backend
 
 	cfg := campaign.Default(ecfg, ops, seed)
 	cfg.App = app
@@ -167,7 +169,7 @@ func mainCampaign(ops int, seed int64, budget int, scheme, placement, app string
 	fmt.Printf("PASS: %d operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
 }
 
-func mainConcurrent(ops int, seed int64, budget int, scheme, placement string, rate float64, burst, shards, workers int, out string) {
+func mainConcurrent(ops int, seed int64, budget int, scheme, placement, backend string, rate float64, burst, shards, workers int, out string) {
 	kind, ok := schemes[scheme]
 	if !ok {
 		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
@@ -183,6 +185,7 @@ func mainConcurrent(ops int, seed int64, budget int, scheme, placement string, r
 	}
 	ecfg := core.Default(kind, place)
 	ecfg.CorrectBits = budget
+	ecfg.CryptoBackend = backend
 
 	cfg := campaign.DefaultConcurrent(ecfg, ops, seed)
 	cfg.FaultRate = rate
@@ -223,7 +226,7 @@ func mainConcurrent(ops int, seed int64, budget int, scheme, placement string, r
 	fmt.Printf("PASS: %d concurrent operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
 }
 
-func mainStrike(ops int, seed int64, budget int, scheme, placement string, burst, shards, readers int, out string) {
+func mainStrike(ops int, seed int64, budget int, scheme, placement, backend string, burst, shards, readers int, out string) {
 	kind, ok := schemes[scheme]
 	if !ok {
 		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
@@ -239,6 +242,7 @@ func mainStrike(ops int, seed int64, budget int, scheme, placement string, burst
 	}
 	ecfg := core.Default(kind, place)
 	ecfg.CorrectBits = budget
+	ecfg.CryptoBackend = backend
 
 	cfg := campaign.DefaultStrike(ecfg, ops, seed)
 	cfg.BurstMax = burst

@@ -41,6 +41,7 @@ func main() {
 		size      = flag.Uint64("size", 64<<20, "protected region size in bytes")
 		shards    = flag.Int("shards", 4, "shard count (power of two; 1 = single locked engine)")
 		scheme    = flag.String("scheme", "delta", "counter scheme: delta, split, or mono")
+		crypto    = flag.String("crypto", "", "crypto backend: ttable, stdlib, or batch8 (default: $AUTHMEM_CRYPTO_BACKEND, then ttable)")
 		keyHex    = flag.String("key-hex", "", "device key, hex-encoded (40 bytes)")
 		devKey    = flag.Bool("dev-key", false, "use a fixed all-zeros development key (NOT for real data)")
 		inflight  = flag.Int("inflight", 64, "per-connection in-flight request cap")
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	backend, desc, err := buildBackend(*size, *shards, *scheme, key)
+	backend, desc, err := buildBackend(*size, *shards, *scheme, *crypto, key)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -143,9 +144,10 @@ func resolveKey(keyHex string, devKey bool) ([]byte, error) {
 	}
 }
 
-func buildBackend(size uint64, shards int, scheme string, key []byte) (server.Backend, string, error) {
+func buildBackend(size uint64, shards int, scheme, crypto string, key []byte) (server.Backend, string, error) {
 	cfg := authmem.DefaultConfig(size)
 	cfg.Key = key
+	cfg.CryptoBackend = crypto
 	switch scheme {
 	case "delta":
 		cfg.Scheme = authmem.DeltaEncoding
@@ -156,18 +158,23 @@ func buildBackend(size uint64, shards int, scheme string, key []byte) (server.Ba
 	default:
 		return nil, "", fmt.Errorf("-scheme: unknown scheme %q (want delta, split, or mono)", scheme)
 	}
+	if crypto == "" {
+		crypto = "default crypto"
+	} else {
+		crypto += " crypto"
+	}
 	if shards > 1 {
 		m, err := authmem.NewSharded(cfg, shards)
 		if err != nil {
 			return nil, "", err
 		}
-		return m, fmt.Sprintf("%dMB %s region across %d shards", size>>20, scheme, shards), nil
+		return m, fmt.Sprintf("%dMB %s region across %d shards (%s)", size>>20, scheme, shards, crypto), nil
 	}
 	m, err := authmem.NewSync(cfg)
 	if err != nil {
 		return nil, "", err
 	}
-	return m, fmt.Sprintf("%dMB %s region (single engine)", size>>20, scheme), nil
+	return m, fmt.Sprintf("%dMB %s region (single engine, %s)", size>>20, scheme, crypto), nil
 }
 
 // runSmoke is the CI smoke client: concurrent workers pipeline writes and

@@ -44,6 +44,8 @@ func main() {
 	coresOut := flag.String("cores-out", "BENCH_cores.json", "output path for -cores")
 	srvBench := flag.Bool("server", false, "run the serving-layer benchmarks (loopback and TCP through the client/server stack) and write the tracked JSON baseline")
 	srvBenchOut := flag.String("server-out", "BENCH_server.json", "output path for -server")
+	cryptoBench := flag.Bool("crypto", false, "run the crypto-backend comparison (ttable vs stdlib vs batch8 batch kernels and group seal/re-encrypt) and write the tracked JSON baseline")
+	cryptoBenchOut := flag.String("crypto-out", "BENCH_crypto.json", "output path for -crypto")
 	quick := flag.Bool("quick", false, "shrink the -writepath/-server workloads for a fast smoke run")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
@@ -57,13 +59,13 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench = true, true, true, true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench = true, true, true, true, true, true, true, true, true, true
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,6 +104,9 @@ func main() {
 	}
 	if *srvBench {
 		runServer(*srvBenchOut, *quick)
+	}
+	if *cryptoBench {
+		runCrypto(*cryptoBenchOut, *quick)
 	}
 	if *fig1 {
 		runFig1()

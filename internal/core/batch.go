@@ -166,7 +166,8 @@ func (e *Engine) writeChunk(first, midx uint64, src []byte) error {
 
 	// Seal: contiguous blocks sharing a counter value — the common case for
 	// streaming writes into one group — are padded with one batched
-	// keystream sweep instead of one pad lookup per block.
+	// keystream sweep and tagged with one batched MAC sweep instead of one
+	// pad lookup + Tag call per block.
 	if e.spanBuf == nil {
 		e.spanBuf = make([]byte, ctr.GroupBlocks*BlockBytes)
 	}
@@ -176,7 +177,11 @@ func (e *Engine) writeChunk(first, midx uint64, src []byte) error {
 			r++
 		}
 		span := e.spanBuf[:(r-j)*BlockBytes]
-		if err := e.ks.XORBlocks(span, src[j*BlockBytes:r*BlockBytes], (first+uint64(j))*BlockBytes, counters[j]); err != nil {
+		spanAddr := (first + uint64(j)) * BlockBytes
+		if err := e.ks.XORBlocksBatch(span, src[j*BlockBytes:r*BlockBytes], spanAddr, counters[j]); err != nil {
+			return err
+		}
+		if err := e.key.TagBatch(e.tagBuf[:r-j], span, spanAddr, counters[j]); err != nil {
 			return err
 		}
 		for k := j; k < r; k++ {
@@ -184,7 +189,7 @@ func (e *Engine) writeChunk(first, midx uint64, src []byte) error {
 			delete(e.quarantine, blk)
 			ct := e.store.Materialize(blk)
 			copy(ct, span[(k-j)*BlockBytes:(k-j+1)*BlockBytes])
-			if err := e.sealBlock(blk, ct, counters[k]); err != nil {
+			if err := e.sealBlockTagged(blk, ct, e.tagBuf[k-j]); err != nil {
 				return err
 			}
 			if e.bc != nil {

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"authmem/internal/crypto"
 	"authmem/internal/ctr"
 )
 
@@ -88,6 +89,11 @@ type Config struct {
 	// every data access — the overhead Rogers et al.'s observation
 	// removed.
 	DataTree bool
+	// CryptoBackend names the cipher/MAC implementation (see
+	// internal/crypto: "ttable", "stdlib", "batch8"). Empty selects the
+	// AUTHMEM_CRYPTO_BACKEND environment variable, then "ttable". All
+	// backends are bit-compatible, so the choice affects speed only.
+	CryptoBackend string
 }
 
 // KeyMaterialLen is the required KeyMaterial length.
@@ -133,6 +139,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: on-chip tree budget below one node")
 	case c.CorrectBits < 0 || c.CorrectBits > 2:
 		return fmt.Errorf("core: correction budget %d out of range", c.CorrectBits)
+	}
+	if !c.DisableEncryption {
+		if _, err := crypto.Lookup(c.CryptoBackend); err != nil {
+			return err
+		}
 	}
 	return nil
 }

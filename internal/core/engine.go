@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 
+	"authmem/internal/crypto"
 	"authmem/internal/ctr"
 	"authmem/internal/ecc"
 	"authmem/internal/keystream"
-	"authmem/internal/mac"
 	"authmem/internal/macecc"
 	"authmem/internal/tree"
 )
@@ -33,9 +33,15 @@ type Engine struct {
 	scheme ctr.Scheme
 	packer ctr.MetadataPacker
 	tr     *tree.Tree
-	ks     *keystream.Cipher
-	key    *mac.Key
-	ver    *macecc.Verifier
+
+	// be is the selected crypto backend (cfg.CryptoBackend); ks and key
+	// are its stream/MAC instances. Both are single-owner (the engine
+	// serializes all accesses); parallel sweeps build per-worker
+	// instances from be (see reencrypt.go).
+	be  crypto.Backend
+	ks  crypto.Stream
+	key crypto.MAC
+	ver *macecc.Verifier
 
 	// store holds ciphertext plus the per-block metadata lane (ECC-lane
 	// image under MACInECC, MAC tag under MACInline) and SEC-DED bytes;
@@ -46,9 +52,10 @@ type Engine struct {
 
 	// groupBuf is the reusable plaintext staging buffer for group
 	// re-encryption sweeps; spanBuf stages ciphertext runs for the batched
-	// WriteBlocks seal path.
+	// WriteBlocks seal path; tagBuf stages their batch-computed MAC tags.
 	groupBuf []byte
 	spanBuf  []byte
+	tagBuf   [ctr.GroupBlocks]uint64
 
 	// [pendingFirst, pendingLast] is the contiguous block span currently
 	// being written (one block for Write, up to a metadata leaf's worth for
@@ -81,11 +88,12 @@ type Engine struct {
 	wp *writePipe
 
 	// Parallel group re-encryption (reencrypt.go): reencWorkers > 1 fans
-	// the overflow sweep across a worker pool; reencKS are the per-worker
-	// pad-cache-free keystream ciphers and reencStats the per-worker
-	// event counters merged after each sweep.
+	// the overflow sweep across a worker pool; reencCtx are the per-worker
+	// crypto contexts (stream, MAC, verifier — single-owner, so one set
+	// per worker) and reencStats the per-worker event counters merged
+	// after each sweep.
 	reencWorkers int
-	reencKS      []*keystream.Cipher
+	reencCtx     []reencCrypto
 	reencStats   []EngineStats
 
 	// stats is the atomic event bank (stats.go): the lock-free read path and
@@ -197,11 +205,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.packer = packer
 
-	e.key, err = mac.NewKey(cfg.KeyMaterial[:24])
+	e.be, err = crypto.Lookup(cfg.CryptoBackend)
 	if err != nil {
 		return nil, err
 	}
-	e.ks, err = keystream.New(cfg.KeyMaterial[24:40])
+	e.key, err = e.be.NewMAC(cfg.KeyMaterial[:24])
+	if err != nil {
+		return nil, err
+	}
+	e.ks, err = e.be.NewStream(cfg.KeyMaterial[24:40])
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +357,15 @@ func (e *Engine) SchemeStats() ctr.Stats {
 // Tree exposes the integrity tree for attack experiments.
 func (e *Engine) Tree() *tree.Tree { return e.tr }
 
+// CryptoBackend returns the name of the selected crypto backend, or "" for
+// an encryption-disabled engine.
+func (e *Engine) CryptoBackend() string {
+	if e.be == nil {
+		return ""
+	}
+	return e.be.Name()
+}
+
 // PadCacheStats reports the keystream pad cache's hit/miss counts.
 func (e *Engine) PadCacheStats() keystream.CacheStats {
 	if e.ks == nil {
@@ -425,6 +446,13 @@ func (e *Engine) sealBlock(blk uint64, ct []byte, counter uint64) error {
 	if err != nil {
 		return err
 	}
+	return e.sealBlockTagged(blk, ct, tag)
+}
+
+// sealBlockTagged is sealBlock with the MAC tag already computed — the
+// install half of the batched seal paths, whose tags come from one
+// TagBatch call over a whole span instead of per-block Tag calls.
+func (e *Engine) sealBlockTagged(blk uint64, ct []byte, tag uint64) error {
 	if e.cfg.Placement == MACInECC {
 		e.store.SetMeta(blk, uint64(macecc.PackMeta(tag, ct)))
 	} else {
@@ -516,8 +544,15 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 	}
 	e.stats.merge(vst)
 
-	// One batched pad sweep re-encrypts the whole group in place.
-	if err := e.ks.XORBlocks(buf, buf, groupStart*BlockBytes, newCounter); err != nil {
+	// One batched pad sweep re-encrypts the whole group in place, and one
+	// batched MAC sweep computes every block's tag; the per-block loop
+	// only installs. (Skipped/pending slots get tags too — they hold
+	// encrypted zeros — but the waste is a couple of blocks per sweep and
+	// keeps the kernel a single contiguous dispatch.)
+	if err := e.ks.XORBlocksBatch(buf, buf, groupStart*BlockBytes, newCounter); err != nil {
+		panic(err)
+	}
+	if err := e.key.TagBatch(e.tagBuf[:n], buf, groupStart*BlockBytes, newCounter); err != nil {
 		panic(err)
 	}
 
@@ -531,7 +566,7 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 		}
 		ct := e.store.Materialize(blk)
 		copy(ct, buf[j*BlockBytes:(j+1)*BlockBytes])
-		if err := e.sealBlock(blk, ct, newCounter); err != nil {
+		if err := e.sealBlockTagged(blk, ct, e.tagBuf[j]); err != nil {
 			panic(err)
 		}
 	}
@@ -543,10 +578,17 @@ func (e *Engine) reencryptGroup(groupStart uint64, oldCounters []uint64, newCoun
 // means the block is uncorrectable and must not be trusted. Correction
 // events land in st so parallel sweep workers can bank them race-free.
 func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64, st *EngineStats) bool {
+	return e.verifyStoredWith(e.key, e.ver, blk, ct, counter, st)
+}
+
+// verifyStoredWith is verifyStored against an explicit MAC/verifier pair:
+// parallel sweep workers pass their own single-owner instances instead of
+// the engine's (see reencrypt.go).
+func (e *Engine) verifyStoredWith(key crypto.MAC, ver *macecc.Verifier, blk uint64, ct []byte, counter uint64, st *EngineStats) bool {
 	switch e.cfg.Placement {
 	case MACInECC:
 		meta := macecc.Meta(e.store.Meta(blk))
-		out, err := e.ver.VerifyAndCorrect(ct, &meta, blk*BlockBytes, counter)
+		out, err := ver.VerifyAndCorrect(ct, &meta, blk*BlockBytes, counter)
 		if err != nil {
 			panic(err) // sizes are fixed; cannot fail
 		}
@@ -566,7 +608,7 @@ func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64, st *EngineS
 			return false
 		}
 		st.SECDEDCorrected += uint64(outcome.CorrectedBits)
-		ok, err := e.key.Verify(ct, blk*BlockBytes, counter, e.store.Meta(blk))
+		ok, err := key.Verify(ct, blk*BlockBytes, counter, e.store.Meta(blk))
 		if err != nil {
 			panic(err)
 		}

@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"authmem/internal/crypto"
 	"authmem/internal/ctr"
-	"authmem/internal/keystream"
+	"authmem/internal/macecc"
 )
 
 // Parallel group re-encryption.
@@ -17,10 +18,12 @@ import (
 // worker pool when enabled.
 //
 // Concurrency audit, because the serial engine shares mutable state freely:
-//   - mac.Key and macecc.Verifier are read-only after construction — shared.
-//   - The engine's main keystream.Cipher is NOT shared: its pad cache makes
-//     it single-threaded. Each worker owns a pad-cache-free Cipher (pads
-//     are generated into stack scratch, which is concurrency-safe).
+//   - Crypto instances are single-owner: the pluggable backends keep
+//     scratch buffers inside Stream/MAC instances (and the engine's main
+//     Stream additionally holds the pad cache), so NOTHING crypto is shared
+//     across workers. Each worker owns a full reencCrypto context — a
+//     pad-cache-free Stream, a MAC, and (under MAC-in-ECC) a Verifier built
+//     around that MAC — constructed once at EnableParallelReencrypt.
 //   - blockStore.Materialize mutates the chunk table and presence bitmap
 //     (shared words), so every block is materialized serially BEFORE the
 //     fan-out; workers then only touch disjoint per-block arena slices
@@ -35,6 +38,13 @@ import (
 // overhead beats the MAC work saved.
 const reencParallelMinBlocks = 16
 
+// reencCrypto is one worker's private crypto context.
+type reencCrypto struct {
+	ks  crypto.Stream
+	key crypto.MAC
+	ver *macecc.Verifier // nil unless MACInECC
+}
+
 // EnableParallelReencrypt fans group re-encryption sweeps across up to
 // workers goroutines (capped at the group size). workers < 2 disables the
 // fan-out and returns to the serial sweep. The classic data-tree design is
@@ -47,7 +57,7 @@ func (e *Engine) EnableParallelReencrypt(workers int) error {
 		return nil // no counters, no sweeps
 	}
 	if workers < 2 {
-		e.reencWorkers, e.reencKS, e.reencStats = 0, nil, nil
+		e.reencWorkers, e.reencCtx, e.reencStats = 0, nil, nil
 		return nil
 	}
 	if e.cfg.DataTree {
@@ -56,15 +66,28 @@ func (e *Engine) EnableParallelReencrypt(workers int) error {
 	if workers > ctr.GroupBlocks {
 		workers = ctr.GroupBlocks
 	}
-	ks := make([]*keystream.Cipher, workers)
-	for i := range ks {
-		c, err := keystream.New(e.cfg.KeyMaterial[24:40])
+	ctxs := make([]reencCrypto, workers)
+	for i := range ctxs {
+		ks, err := e.be.NewStream(e.cfg.KeyMaterial[24:40])
 		if err != nil {
 			return err
 		}
-		ks[i] = c // deliberately no pad cache: must be concurrency-safe
+		// Deliberately no pad cache: the worker's stream must only carry
+		// its own scratch, owned by that worker for the sweep.
+		key, err := e.be.NewMAC(e.cfg.KeyMaterial[:24])
+		if err != nil {
+			return err
+		}
+		var ver *macecc.Verifier
+		if e.cfg.Placement == MACInECC {
+			ver, err = macecc.NewVerifier(key, e.cfg.CorrectBits)
+			if err != nil {
+				return err
+			}
+		}
+		ctxs[i] = reencCrypto{ks: ks, key: key, ver: ver}
 	}
-	e.reencKS = ks
+	e.reencCtx = ctxs
 	e.reencStats = make([]EngineStats, workers)
 	e.reencWorkers = workers
 	return nil
@@ -119,7 +142,7 @@ func (e *Engine) reencryptGroupParallel(groupStart uint64, oldCounters []uint64,
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			st := &e.reencStats[w]
-			ks := e.reencKS[w]
+			cx := &e.reencCtx[w]
 			// Stage: authenticate and decrypt this worker's blocks under
 			// their old counters (same laundering rule as the serial sweep:
 			// unverifiable blocks keep their old sealed bits).
@@ -131,19 +154,25 @@ func (e *Engine) reencryptGroupParallel(groupStart uint64, oldCounters []uint64,
 					continue
 				}
 				ct := e.store.Ciphertext(blk)
-				if !e.verifyStored(blk, ct, oldCounters[j], st) {
+				if !e.verifyStoredWith(cx.key, cx.ver, blk, ct, oldCounters[j], st) {
 					skip[j] = true
 					clear(pt)
 					continue
 				}
-				if err := ks.XOR(pt, ct, blk*BlockBytes, oldCounters[j]); err != nil {
+				if err := cx.ks.XOR(pt, ct, blk*BlockBytes, oldCounters[j]); err != nil {
 					panic(err) // sizes are fixed; cannot fail
 				}
 			}
 			// Re-pad this worker's contiguous span under the new counter
+			// through the batch kernel, tag it with one batched MAC sweep,
 			// and reinstall.
 			span := buf[lo*BlockBytes : hi*BlockBytes]
-			if err := ks.XORBlocks(span, span, (groupStart+uint64(lo))*BlockBytes, newCounter); err != nil {
+			spanAddr := (groupStart + uint64(lo)) * BlockBytes
+			if err := cx.ks.XORBlocksBatch(span, span, spanAddr, newCounter); err != nil {
+				panic(err)
+			}
+			var tags [ctr.GroupBlocks]uint64
+			if err := cx.key.TagBatch(tags[:hi-lo], span, spanAddr, newCounter); err != nil {
 				panic(err)
 			}
 			for j := lo; j < hi; j++ {
@@ -153,7 +182,7 @@ func (e *Engine) reencryptGroupParallel(groupStart uint64, oldCounters []uint64,
 				}
 				ct := e.store.Ciphertext(blk) // materialized in the prologue
 				copy(ct, buf[j*BlockBytes:(j+1)*BlockBytes])
-				if err := e.sealBlock(blk, ct, newCounter); err != nil {
+				if err := e.sealBlockTagged(blk, ct, tags[j-lo]); err != nil {
 					panic(err)
 				}
 			}

@@ -1,0 +1,224 @@
+package crypto
+
+import (
+	stdaes "crypto/aes"
+	"encoding/binary"
+	"fmt"
+
+	"authmem/internal/mac"
+)
+
+// The "batch8" backend: crypto/aes with batch kernels sized for whole
+// counter groups. The span entry points (PadBatch/XORBlocksBatch, and the
+// PadN/XORBlocks they implement, plus the MAC's TagBatch) process blocks in
+// chunks of 8 — 32 AES lanes for the pads, 8 PRF blocks for the tags. Each
+// chunk first assembles every nonce into one staging buffer, then runs the
+// cipher dispatches back to back: the bounds checks, nonce packing, and
+// cache probes are hoisted out of the encrypt loop, so the superscalar
+// AES-NI units see nothing but Encrypt calls — the software analogue of
+// Sealer's batch-oriented in-SRAM AES engine, and the shape a group
+// re-encryption sweep (64 contiguous blocks, one shared counter) wants.
+//
+// Cache interplay: the batch kernels probe the pad cache per block exactly
+// like the scalar path (same Hits/Misses accounting) and batch-generate
+// only the misses, inserting each generated pad so read-after-write still
+// hits. Two blocks of one chunk can collide on a direct-mapped slot; the
+// loser of the collision is generated into chunk-local scratch instead so
+// both blocks still get correct pads.
+
+// batchBlocks is the kernel width in 64-byte blocks.
+const batchBlocks = 8
+
+type batch8Backend struct{}
+
+func init() { Register(batch8Backend{}) }
+
+func (batch8Backend) Name() string { return "batch8" }
+
+func (batch8Backend) NewStream(key []byte) (Stream, error) {
+	blk, err := stdaes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: %w", err)
+	}
+	return &batch8Stream{stdlibStream: stdlibStream{blk: blk}}, nil
+}
+
+func (batch8Backend) NewMAC(material []byte) (MAC, error) {
+	m := &batch8MAC{}
+	if err := m.init(material); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// batch8Stream inherits the scalar path (Pad, XOR, cache) from
+// stdlibStream and overrides the span entry points with the chunked kernel.
+type batch8Stream struct {
+	stdlibStream
+
+	// Chunk staging: nonceBuf holds the packed AES inputs of every missed
+	// lane; padHome[i] points at block i's resolved pad (cache entry or
+	// chunkPad scratch); missAddr/missDst list the blocks to generate.
+	nonceBuf [batchBlocks * lanes * stdaes.BlockSize]byte
+	padHome  [batchBlocks]*[BlockSize]byte
+	missAddr [batchBlocks]uint64
+	missDst  [batchBlocks]*[BlockSize]byte
+	missIdx  [batchBlocks]int
+	chunkPad [batchBlocks][BlockSize]byte
+}
+
+// stagePads resolves the pads of n (≤ batchBlocks) contiguous blocks
+// starting at addr under one counter: cache hits resolve to their entries,
+// misses are batch-generated. On return padHome[0..n) hold the pads.
+func (s *batch8Stream) stagePads(addr, counter uint64, n int) {
+	m := 0
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i*BlockSize)
+		if !s.cache.enabled() {
+			s.padHome[i] = &s.chunkPad[i]
+			s.missAddr[m], s.missDst[m], s.missIdx[m] = a, &s.chunkPad[i], i
+			m++
+			continue
+		}
+		e := s.cache.slot(a, counter)
+		if e.valid && e.addr == a && e.counter == counter {
+			s.cache.stats.Hits++
+			s.padHome[i] = &e.pad
+			continue
+		}
+		s.cache.stats.Misses++
+		// Direct-mapped collision inside this chunk: an earlier miss
+		// already claimed this entry, and generation is deferred, so
+		// letting both share it would leave one block with the other's
+		// pad. The serial path resolves collisions by overwriting — the
+		// later block ends up resident — so mirror that: divert the
+		// earlier miss to chunk-local scratch and claim the entry here.
+		// Keeping the residency order identical keeps future hit/miss
+		// counts bit-equal to the scalar backends.
+		for j := 0; j < m; j++ {
+			if s.missDst[j] == &e.pad {
+				prev := s.missIdx[j]
+				s.missDst[j] = &s.chunkPad[prev]
+				s.padHome[prev] = &s.chunkPad[prev]
+				break
+			}
+		}
+		e.addr, e.counter, e.valid = a, counter, true
+		s.padHome[i] = &e.pad
+		s.missAddr[m], s.missDst[m], s.missIdx[m] = a, &e.pad, i
+		m++
+	}
+	if m == 0 {
+		return
+	}
+	// Pack every missed lane's nonce, then dispatch the AES lanes in one
+	// tight loop.
+	for j := 0; j < m; j++ {
+		base := j * lanes * stdaes.BlockSize
+		binary.LittleEndian.PutUint64(s.nonceBuf[base:], s.missAddr[j])
+		for lane := 1; lane < lanes; lane++ {
+			copy(s.nonceBuf[base+lane*16:base+lane*16+8], s.nonceBuf[base:base+8])
+		}
+		for lane := 0; lane < lanes; lane++ {
+			binary.LittleEndian.PutUint64(s.nonceBuf[base+lane*16+8:], counter|uint64(lane)<<56)
+		}
+	}
+	for j := 0; j < m; j++ {
+		dst := s.missDst[j]
+		base := j * lanes * stdaes.BlockSize
+		for lane := 0; lane < lanes; lane++ {
+			s.blk.Encrypt(dst[lane*16:(lane+1)*16], s.nonceBuf[base+lane*16:base+(lane+1)*16])
+		}
+	}
+}
+
+func (s *batch8Stream) PadN(dst []byte, addr, counter uint64) error {
+	if err := checkSpanLen(len(dst)); err != nil {
+		return err
+	}
+	nBlocks := len(dst) / BlockSize
+	for base := 0; base < nBlocks; base += batchBlocks {
+		n := nBlocks - base
+		if n > batchBlocks {
+			n = batchBlocks
+		}
+		s.stagePads(addr+uint64(base*BlockSize), counter, n)
+		for i := 0; i < n; i++ {
+			off := (base + i) * BlockSize
+			copy(dst[off:off+BlockSize], s.padHome[i][:])
+		}
+	}
+	return nil
+}
+
+func (s *batch8Stream) XORBlocks(dst, src []byte, addr, counter uint64) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("crypto: src/dst length mismatch (%d vs %d)", len(src), len(dst))
+	}
+	if err := checkSpanLen(len(src)); err != nil {
+		return err
+	}
+	nBlocks := len(src) / BlockSize
+	for base := 0; base < nBlocks; base += batchBlocks {
+		n := nBlocks - base
+		if n > batchBlocks {
+			n = batchBlocks
+		}
+		s.stagePads(addr+uint64(base*BlockSize), counter, n)
+		for i := 0; i < n; i++ {
+			off := (base + i) * BlockSize
+			xorPad(dst[off:off+BlockSize], src[off:off+BlockSize], s.padHome[i])
+		}
+	}
+	return nil
+}
+
+func (s *batch8Stream) PadBatch(dst []byte, addr, counter uint64) error {
+	return s.PadN(dst, addr, counter)
+}
+
+func (s *batch8Stream) XORBlocksBatch(dst, src []byte, addr, counter uint64) error {
+	return s.XORBlocks(dst, src, addr, counter)
+}
+
+// batch8MAC inherits the scalar Tag/Verify from stdlibMAC and overrides
+// TagBatch with a chunked kernel: the 8 PRF nonces of a chunk are packed
+// and encrypted back to back, then each block's polynomial hash folds in
+// its PRF word.
+type batch8MAC struct {
+	stdlibMAC
+
+	nonceBuf [batchBlocks * stdaes.BlockSize]byte
+	prfBuf   [batchBlocks * stdaes.BlockSize]byte
+}
+
+func (m *batch8MAC) TagBatch(tags []uint64, ciphertexts []byte, addr, counter uint64) error {
+	if len(ciphertexts) != len(tags)*BlockSize {
+		return fmt.Errorf("crypto: ciphertexts must be %d bytes for %d tags, got %d",
+			len(tags)*BlockSize, len(tags), len(ciphertexts))
+	}
+	for base := 0; base < len(tags); base += batchBlocks {
+		n := len(tags) - base
+		if n > batchBlocks {
+			n = batchBlocks
+		}
+		for i := 0; i < n; i++ {
+			off := i * stdaes.BlockSize
+			binary.LittleEndian.PutUint64(m.nonceBuf[off:], addr+uint64((base+i)*BlockSize))
+			binary.LittleEndian.PutUint64(m.nonceBuf[off+8:], counter)
+		}
+		for i := 0; i < n; i++ {
+			off := i * stdaes.BlockSize
+			m.blk.Encrypt(m.prfBuf[off:off+stdaes.BlockSize], m.nonceBuf[off:off+stdaes.BlockSize])
+		}
+		for i := 0; i < n; i++ {
+			ct := ciphertexts[(base+i)*BlockSize : (base+i+1)*BlockSize]
+			var hash uint64
+			for w := 0; w < blockWords; w++ {
+				hash ^= m.pow[w].Mul(binary.LittleEndian.Uint64(ct[w*8:]))
+			}
+			tags[base+i] = (hash ^ binary.LittleEndian.Uint64(m.prfBuf[i*stdaes.BlockSize:])) & mac.TagMask
+		}
+	}
+	return nil
+}

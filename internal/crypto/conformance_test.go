@@ -1,0 +1,474 @@
+package crypto_test
+
+// Cross-backend differential conformance suite.
+//
+// Every registered backend must produce BIT-IDENTICAL keystream pads,
+// ciphertexts, and MAC tags for the same key material and (addr, counter)
+// inputs — images sealed by one backend must verify under another, since a
+// deployment can switch backends between restarts. The ttable backend (the
+// original from-scratch path) is the reference; every other backend is
+// diffed against it over randomized and adversarial input grids, batch
+// kernels are diffed against N scalar calls, and pad-cache hit/miss
+// accounting must match the serial reference exactly (batch8 resolves
+// intra-chunk cache collisions in serial residency order precisely so this
+// holds).
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"authmem/internal/crypto"
+)
+
+const blockSize = crypto.BlockSize
+
+func testKeyMaterial(seed byte) []byte {
+	k := make([]byte, 40)
+	for i := range k {
+		k[i] = byte(i)*3 + seed
+	}
+	return k
+}
+
+// interestingPairs returns (addr, counter) pairs mixing boundary values
+// (zero, max 56-bit counter, high addresses, lane-byte edge cases) with
+// seeded random draws.
+func interestingPairs(rng *rand.Rand, n int) [][2]uint64 {
+	pairs := [][2]uint64{
+		{0, 0},
+		{0, 1},
+		{64, 1},
+		{64, (1 << 56) - 1},                  // max counter: lane bits must not collide
+		{1 << 32, 1 << 55},                   // high counter bit vs lane byte
+		{(1 << 40) - 64, 0x00FFFFFFFFFFFFFF}, // all-ones 56-bit counter
+		{0xFFFFFFC0, 127},                    // split-counter overflow edge
+	}
+	for i := 0; i < n; i++ {
+		addr := (rng.Uint64() << 6) & 0xFFFFFFFFFF // block-aligned, 40-bit
+		ctr := rng.Uint64() & ((1 << 56) - 1)
+		pairs = append(pairs, [2]uint64{addr, ctr})
+	}
+	return pairs
+}
+
+func newStreams(t *testing.T, key []byte, cacheEntries int) map[string]crypto.Stream {
+	t.Helper()
+	streams := make(map[string]crypto.Stream)
+	for _, name := range crypto.Names() {
+		be, err := crypto.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		ks, err := be.NewStream(key[24:40])
+		if err != nil {
+			t.Fatalf("%s: NewStream: %v", name, err)
+		}
+		if cacheEntries > 0 {
+			if err := ks.EnablePadCache(cacheEntries); err != nil {
+				t.Fatalf("%s: EnablePadCache(%d): %v", name, cacheEntries, err)
+			}
+		}
+		streams[name] = ks
+	}
+	return streams
+}
+
+func newMACs(t *testing.T, key []byte) map[string]crypto.MAC {
+	t.Helper()
+	macs := make(map[string]crypto.MAC)
+	for _, name := range crypto.Names() {
+		be, err := crypto.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		mk, err := be.NewMAC(key[:24])
+		if err != nil {
+			t.Fatalf("%s: NewMAC: %v", name, err)
+		}
+		macs[name] = mk
+	}
+	return macs
+}
+
+// TestBackendRegistry checks that all three shipped backends are registered
+// and that lookup resolves names, the env default, and rejects unknowns.
+func TestBackendRegistry(t *testing.T) {
+	names := crypto.Names()
+	for _, want := range []string{"batch8", "stdlib", "ttable"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("backend %q not registered (have %v)", want, names)
+		}
+	}
+	for _, name := range names {
+		be, err := crypto.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if be.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, be.Name())
+		}
+	}
+	if _, err := crypto.Lookup("no-such-backend"); err == nil {
+		t.Error("Lookup of unknown backend did not fail")
+	}
+	t.Setenv(crypto.EnvBackend, "stdlib")
+	be, err := crypto.Lookup("")
+	if err != nil {
+		t.Fatalf(`Lookup("") with env set: %v`, err)
+	}
+	if be.Name() != "stdlib" {
+		t.Errorf(`Lookup("") with %s=stdlib -> %q`, crypto.EnvBackend, be.Name())
+	}
+	t.Setenv(crypto.EnvBackend, "")
+	be, err = crypto.Lookup("")
+	if err != nil {
+		t.Fatalf(`Lookup(""): %v`, err)
+	}
+	if be.Name() != crypto.DefaultBackend {
+		t.Errorf(`Lookup("") -> %q, want default %q`, be.Name(), crypto.DefaultBackend)
+	}
+}
+
+// TestPadConformance: single-block pads bit-equal across all backends over
+// the input grid, cached and uncached.
+func TestPadConformance(t *testing.T) {
+	for _, cacheEntries := range []int{0, 64} {
+		t.Run(fmt.Sprintf("cache=%d", cacheEntries), func(t *testing.T) {
+			key := testKeyMaterial(1)
+			streams := newStreams(t, key, cacheEntries)
+			ref := streams["ttable"]
+			pairs := interestingPairs(rand.New(rand.NewSource(11)), 64)
+
+			want := make([]byte, blockSize)
+			got := make([]byte, blockSize)
+			for _, p := range pairs {
+				addr, ctr := p[0], p[1]
+				if err := ref.Pad(want, addr, ctr); err != nil {
+					t.Fatalf("ttable: Pad(%#x,%d): %v", addr, ctr, err)
+				}
+				for name, ks := range streams {
+					if name == "ttable" {
+						continue
+					}
+					if err := ks.Pad(got, addr, ctr); err != nil {
+						t.Fatalf("%s: Pad(%#x,%d): %v", name, addr, ctr, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s: Pad(%#x,%d) differs from ttable\n got %x\nwant %x",
+							name, addr, ctr, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestXORRoundTrip: encrypt with one backend, decrypt with every other.
+// This is the deployment-critical property — a region sealed under ttable
+// must decrypt under batch8 after a restart with a different backend.
+func TestXORRoundTrip(t *testing.T) {
+	key := testKeyMaterial(2)
+	streams := newStreams(t, key, 0)
+	rng := rand.New(rand.NewSource(22))
+	pairs := interestingPairs(rng, 16)
+
+	pt := make([]byte, blockSize)
+	ct := make([]byte, blockSize)
+	back := make([]byte, blockSize)
+	for _, p := range pairs {
+		addr, ctr := p[0], p[1]
+		rng.Read(pt)
+		for encName, enc := range streams {
+			if err := enc.XOR(ct, pt, addr, ctr); err != nil {
+				t.Fatalf("%s: XOR: %v", encName, err)
+			}
+			for decName, dec := range streams {
+				if err := dec.XOR(back, ct, addr, ctr); err != nil {
+					t.Fatalf("%s: XOR: %v", decName, err)
+				}
+				if !bytes.Equal(back, pt) {
+					t.Fatalf("seal %s / open %s: round trip failed at (%#x,%d)",
+						encName, decName, addr, ctr)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesScalar: for every backend, PadN / PadBatch over an
+// n-block span must equal n independent Pad calls, and XORBlocks /
+// XORBlocksBatch must equal per-block XOR — across span lengths that
+// exercise partial batch8 chunks (1..8) and whole-group spans (64).
+func TestBatchMatchesScalar(t *testing.T) {
+	key := testKeyMaterial(3)
+	rng := rand.New(rand.NewSource(33))
+	lengths := []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 63, 64}
+	pairs := interestingPairs(rng, 8)
+
+	for _, name := range crypto.Names() {
+		t.Run(name, func(t *testing.T) {
+			streams := newStreams(t, key, 0)
+			ks := streams[name]
+			for _, n := range lengths {
+				span := n * blockSize
+				src := make([]byte, span)
+				rng.Read(src)
+				wantPad := make([]byte, span)
+				gotPad := make([]byte, span)
+				wantCT := make([]byte, span)
+				gotCT := make([]byte, span)
+
+				for _, p := range pairs {
+					addr, ctr := p[0], p[1]
+					for i := 0; i < n; i++ {
+						off := i * blockSize
+						blkAddr := addr + uint64(off)
+						if err := ks.Pad(wantPad[off:off+blockSize], blkAddr, ctr); err != nil {
+							t.Fatalf("Pad block %d: %v", i, err)
+						}
+						if err := ks.XOR(wantCT[off:off+blockSize], src[off:off+blockSize], blkAddr, ctr); err != nil {
+							t.Fatalf("XOR block %d: %v", i, err)
+						}
+					}
+					for kernel, fn := range map[string]func(dst []byte, addr, counter uint64) error{
+						"PadN":     ks.PadN,
+						"PadBatch": ks.PadBatch,
+					} {
+						if err := fn(gotPad, addr, ctr); err != nil {
+							t.Fatalf("%s n=%d: %v", kernel, n, err)
+						}
+						if !bytes.Equal(gotPad, wantPad) {
+							t.Fatalf("%s n=%d at (%#x,%d) differs from %d scalar Pads", kernel, n, addr, ctr, n)
+						}
+					}
+					for kernel, fn := range map[string]func(dst, src []byte, addr, counter uint64) error{
+						"XORBlocks":      ks.XORBlocks,
+						"XORBlocksBatch": ks.XORBlocksBatch,
+					} {
+						if err := fn(gotCT, src, addr, ctr); err != nil {
+							t.Fatalf("%s n=%d: %v", kernel, n, err)
+						}
+						if !bytes.Equal(gotCT, wantCT) {
+							t.Fatalf("%s n=%d at (%#x,%d) differs from %d scalar XORs", kernel, n, addr, ctr, n)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMACConformance: tags bit-equal across backends, Verify accepts every
+// other backend's tags and rejects flipped ones, hash points match.
+func TestMACConformance(t *testing.T) {
+	for _, seed := range []byte{0, 4, 9} { // seed 0: all-zero hash-key bytes exercise the h==0 -> 1 substitution
+		t.Run(fmt.Sprintf("key=%d", seed), func(t *testing.T) {
+			key := testKeyMaterial(seed)
+			if seed == 0 {
+				for i := 0; i < 8; i++ {
+					key[i] = 0
+				}
+			}
+			macs := newMACs(t, key)
+			ref := macs["ttable"]
+			rng := rand.New(rand.NewSource(44))
+			pairs := interestingPairs(rng, 32)
+
+			ct := make([]byte, blockSize)
+			for _, p := range pairs {
+				addr, ctr := p[0], p[1]
+				rng.Read(ct)
+				want, err := ref.Tag(ct, addr, ctr)
+				if err != nil {
+					t.Fatalf("ttable: Tag: %v", err)
+				}
+				for name, mk := range macs {
+					if mk.HashPoint() != ref.HashPoint() {
+						t.Fatalf("%s: HashPoint %#x != ttable %#x", name, mk.HashPoint(), ref.HashPoint())
+					}
+					got, err := mk.Tag(ct, addr, ctr)
+					if err != nil {
+						t.Fatalf("%s: Tag: %v", name, err)
+					}
+					if got != want {
+						t.Fatalf("%s: Tag(%#x,%d) = %#x, want ttable's %#x", name, addr, ctr, got, want)
+					}
+					ok, err := mk.Verify(ct, addr, ctr, want)
+					if err != nil || !ok {
+						t.Fatalf("%s: Verify of ttable tag = %v, %v", name, ok, err)
+					}
+					ok, err = mk.Verify(ct, addr, ctr, want^1)
+					if err != nil || ok {
+						t.Fatalf("%s: Verify accepted a corrupted tag", name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTagBatchMatchesScalar: TagBatch over n contiguous blocks equals n
+// scalar Tag calls for every backend, across partial-chunk lengths.
+func TestTagBatchMatchesScalar(t *testing.T) {
+	key := testKeyMaterial(5)
+	macs := newMACs(t, key)
+	rng := rand.New(rand.NewSource(55))
+	pairs := interestingPairs(rng, 8)
+	lengths := []int{1, 2, 7, 8, 9, 16, 63, 64}
+
+	for name, mk := range macs {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range lengths {
+				cts := make([]byte, n*blockSize)
+				rng.Read(cts)
+				tags := make([]uint64, n)
+				for _, p := range pairs {
+					addr, ctr := p[0], p[1]
+					if err := mk.TagBatch(tags, cts, addr, ctr); err != nil {
+						t.Fatalf("TagBatch n=%d: %v", n, err)
+					}
+					for i := 0; i < n; i++ {
+						want, err := mk.Tag(cts[i*blockSize:(i+1)*blockSize], addr+uint64(i*blockSize), ctr)
+						if err != nil {
+							t.Fatalf("Tag block %d: %v", i, err)
+						}
+						if tags[i] != want {
+							t.Fatalf("TagBatch n=%d block %d at (%#x,%d): %#x, scalar %#x",
+								n, i, addr, ctr, tags[i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTagBatchCrossBackend: whole-group TagBatch output identical across
+// backends (the re-encryption sweep shape: 64 blocks, one counter).
+func TestTagBatchCrossBackend(t *testing.T) {
+	key := testKeyMaterial(6)
+	macs := newMACs(t, key)
+	rng := rand.New(rand.NewSource(66))
+	const n = 64
+	cts := make([]byte, n*blockSize)
+	rng.Read(cts)
+
+	for _, p := range interestingPairs(rng, 8) {
+		addr, ctr := p[0], p[1]
+		want := make([]uint64, n)
+		if err := macs["ttable"].TagBatch(want, cts, addr, ctr); err != nil {
+			t.Fatalf("ttable: TagBatch: %v", err)
+		}
+		got := make([]uint64, n)
+		for name, mk := range macs {
+			if name == "ttable" {
+				continue
+			}
+			if err := mk.TagBatch(got, cts, addr, ctr); err != nil {
+				t.Fatalf("%s: TagBatch: %v", name, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: TagBatch block %d at (%#x,%d): %#x, ttable %#x",
+						name, i, addr, ctr, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCacheStatsParity: identical access sequences must produce identical
+// hit/miss accounting on every backend. The cache is deliberately small
+// (16 entries) and the address set larger (48 blocks), so direct-mapped
+// collisions — including multiple misses landing on one slot inside a
+// single batch8 chunk — occur constantly; residency order after a batch
+// must match the serial reference for subsequent counts to line up.
+func TestCacheStatsParity(t *testing.T) {
+	key := testKeyMaterial(7)
+	streams := newStreams(t, key, 16)
+	rng := rand.New(rand.NewSource(77))
+
+	dst := make([]byte, 8*blockSize)
+	want := make([]byte, 8*blockSize)
+	ref := streams["ttable"]
+	for round := 0; round < 200; round++ {
+		addr := uint64(rng.Intn(48)) * blockSize
+		ctr := uint64(rng.Intn(4) + 1)
+		n := rng.Intn(8) + 1
+		if err := ref.PadBatch(want[:n*blockSize], addr, ctr); err != nil {
+			t.Fatalf("ttable: PadBatch: %v", err)
+		}
+		for name, ks := range streams {
+			if name == "ttable" {
+				continue
+			}
+			if err := ks.PadBatch(dst[:n*blockSize], addr, ctr); err != nil {
+				t.Fatalf("%s: PadBatch: %v", name, err)
+			}
+			if !bytes.Equal(dst[:n*blockSize], want[:n*blockSize]) {
+				t.Fatalf("%s: cached PadBatch differs at round %d (addr=%#x ctr=%d n=%d)",
+					name, round, addr, ctr, n)
+			}
+		}
+	}
+	refStats := ref.CacheStats()
+	if refStats.Hits == 0 || refStats.Misses == 0 {
+		t.Fatalf("degenerate access pattern: stats %+v", refStats)
+	}
+	for name, ks := range streams {
+		if s := ks.CacheStats(); s != refStats {
+			t.Errorf("%s: cache stats %+v, ttable %+v", name, s, refStats)
+		}
+	}
+}
+
+// TestErrorConformance: every backend rejects the same malformed inputs.
+func TestErrorConformance(t *testing.T) {
+	key := testKeyMaterial(8)
+	streams := newStreams(t, key, 0)
+	macs := newMACs(t, key)
+	short := make([]byte, blockSize-1)
+	ragged := make([]byte, blockSize+1)
+	for name, ks := range streams {
+		if err := ks.Pad(short, 0, 0); err == nil {
+			t.Errorf("%s: Pad accepted %d bytes", name, len(short))
+		}
+		if err := ks.PadN(ragged, 0, 0); err == nil {
+			t.Errorf("%s: PadN accepted ragged span", name)
+		}
+		if err := ks.XORBlocksBatch(ragged, ragged, 0, 0); err == nil {
+			t.Errorf("%s: XORBlocksBatch accepted ragged span", name)
+		}
+		if err := ks.EnablePadCache(3); err == nil {
+			t.Errorf("%s: EnablePadCache accepted non-power-of-two", name)
+		}
+	}
+	for name, mk := range macs {
+		if _, err := mk.Tag(short, 0, 0); err == nil {
+			t.Errorf("%s: Tag accepted %d bytes", name, len(short))
+		}
+		if err := mk.TagBatch(make([]uint64, 2), make([]byte, blockSize), 0, 0); err == nil {
+			t.Errorf("%s: TagBatch accepted mismatched tag/ciphertext lengths", name)
+		}
+	}
+	for _, be := range []string{"ttable", "stdlib", "batch8"} {
+		b, err := crypto.Lookup(be)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.NewStream(make([]byte, 7)); err == nil {
+			t.Errorf("%s: NewStream accepted a 7-byte key", be)
+		}
+		if _, err := b.NewMAC(make([]byte, 23)); err == nil {
+			t.Errorf("%s: NewMAC accepted 23-byte material", be)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package crypto puts the engine's cipher and MAC kernels behind one
+// pluggable Backend interface.
+//
+// The paper's delta+ECC scheme spends its residual overhead in exactly two
+// kernels: the AES-CTR keystream (internal/keystream) and the GF(2^64)
+// Carter-Wegman MAC (internal/mac). Sealer (PAPERS.md) motivates treating
+// the cipher as a swappable, batch-oriented engine rather than a hard-wired
+// implementation; this package is that seam. Three backends register at
+// init:
+//
+//   - "ttable": the repository's from-scratch T-table AES path — the
+//     original keystream.Cipher and mac.Key, unchanged. Portable, no
+//     hardware assumptions, and the reference the others are diffed against.
+//   - "stdlib": the same constructions over crypto/aes, which picks up
+//     AES-NI (and NEON, etc.) via the standard library's assembly.
+//   - "batch8": crypto/aes plus batch-8 kernels — pads and MAC PRF blocks
+//     for up to 8 data blocks (32 AES lanes) are staged and dispatched as
+//     one tight encrypt loop, sized so a 4KB counter-group re-encryption
+//     sweep or a write-pipeline flush runs whole groups through the kernel.
+//
+// Every backend computes bit-identical pads, ciphertexts, and tags: the
+// differential conformance suite (conformance_test.go) and the fuzz targets
+// hold each pair equal over randomized addr/counter/length grids, so stored
+// images written under one backend verify under any other.
+//
+// Concurrency contract: a Stream or MAC instance is single-owner — the
+// non-ttable implementations keep scratch buffers in the instance so the
+// hot paths stay allocation-free across the interface boundary (stack
+// buffers passed to an interface method would escape). Callers that fan
+// out (parallel re-encryption) construct one instance per worker.
+package crypto
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"authmem/internal/keystream"
+)
+
+// BlockSize is the encryption/MAC granularity in bytes (one cache line).
+const BlockSize = 64
+
+// EnvBackend is the environment variable consulted when a backend name is
+// empty. The CI test matrix uses it to run the whole suite once per backend
+// without threading a flag through every test.
+const EnvBackend = "AUTHMEM_CRYPTO_BACKEND"
+
+// DefaultBackend is the backend used when neither the caller nor the
+// environment selects one.
+const DefaultBackend = "ttable"
+
+// Stream generates and applies 64-byte AES-CTR keystream pads. The method
+// set mirrors keystream.Cipher; all implementations produce bit-identical
+// pads for the same key and (addr, counter) seeds.
+type Stream interface {
+	// Pad writes the 64-byte keystream for (addr, counter) into dst.
+	Pad(dst []byte, addr, counter uint64) error
+	// PadN writes the pads of len(dst)/BlockSize contiguous blocks
+	// (block i seeded by addr + i*BlockSize) sharing one counter.
+	PadN(dst []byte, addr, counter uint64) error
+	// XOR applies the pad for (addr, counter) to one block; dst and src
+	// may alias exactly.
+	XOR(dst, src []byte, addr, counter uint64) error
+	// XORBlocks applies contiguous-block pads to a span; dst and src may
+	// alias exactly.
+	XORBlocks(dst, src []byte, addr, counter uint64) error
+	// PadBatch is the batch kernel for PadN: same contract, but wide
+	// backends stage several blocks per cipher dispatch.
+	PadBatch(dst []byte, addr, counter uint64) error
+	// XORBlocksBatch is the batch kernel for XORBlocks.
+	XORBlocksBatch(dst, src []byte, addr, counter uint64) error
+	// EnablePadCache attaches a direct-mapped (addr, counter) pad cache
+	// of the given power-of-two entry count. All backends share the cache
+	// geometry and hit/miss accounting, so PadCacheStats is comparable
+	// across backends.
+	EnablePadCache(entries int) error
+	// CacheStats returns pad-cache hit/miss counts since EnablePadCache.
+	CacheStats() keystream.CacheStats
+}
+
+// MAC computes the 56-bit Carter-Wegman tag over 64-byte ciphertext blocks.
+// The method set mirrors mac.Key; all implementations produce bit-identical
+// tags for the same key material.
+type MAC interface {
+	// Tag computes the tag of one block at (addr, counter).
+	Tag(ciphertext []byte, addr, counter uint64) (uint64, error)
+	// Verify reports whether tag authenticates the block.
+	Verify(ciphertext []byte, addr, counter, tag uint64) (bool, error)
+	// TagBatch tags len(tags) contiguous blocks sharing one counter
+	// (block i at addr + i*BlockSize) — the seal shape of a group
+	// re-encryption sweep or a coalesced span write.
+	TagBatch(tags []uint64, ciphertexts []byte, addr, counter uint64) error
+	// HashPoint exposes the polynomial-hash point for the MAC-in-ECC
+	// flip-and-check contribution tables (see internal/macecc).
+	HashPoint() uint64
+}
+
+// Backend constructs a matched Stream/MAC pair. Name is the registry key
+// and what daemon flags and BENCH reports call the backend.
+type Backend interface {
+	Name() string
+	// NewStream builds a keystream cipher from a 16-byte AES-128 key.
+	NewStream(key []byte) (Stream, error)
+	// NewMAC builds a MAC from 24 bytes of key material (8-byte hash
+	// point seed + 16-byte AES PRF key), matching mac.NewKey.
+	NewMAC(material []byte) (MAC, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under its Name. Registering a duplicate name
+// panics: backends register from init and a collision is a programming
+// error, not a runtime condition.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic("crypto: duplicate backend " + b.Name())
+	}
+	registry[b.Name()] = b
+}
+
+// Lookup resolves a backend name. An empty name falls back to the
+// AUTHMEM_CRYPTO_BACKEND environment variable, then to DefaultBackend.
+// Unknown names are an error listing what is registered.
+func Lookup(name string) (Backend, error) {
+	if name == "" {
+		name = os.Getenv(EnvBackend)
+	}
+	if name == "" {
+		name = DefaultBackend
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if b, ok := registry[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("crypto: unknown backend %q (registered: %v)", name, namesLocked())
+}
+
+// Names returns the registered backend names, sorted. The conformance
+// suite iterates it so a future backend is covered the moment it registers.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

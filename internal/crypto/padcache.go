@@ -1,0 +1,76 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"authmem/internal/keystream"
+)
+
+// Shared pad-cache machinery for the crypto/aes-backed streams. The
+// geometry, slot hash, and hit/miss accounting are identical to the cache
+// inside keystream.Cipher so PadCacheStats means the same thing under every
+// backend — the conformance suite asserts the counters match stat-for-stat.
+
+// padEntry is one direct-mapped cache slot.
+type padEntry struct {
+	addr    uint64
+	counter uint64
+	valid   bool
+	pad     [BlockSize]byte
+}
+
+// padCache is a direct-mapped (addr, counter) -> pad cache. The zero value
+// is a disabled cache.
+type padCache struct {
+	entries []padEntry
+	mask    uint64
+	stats   keystream.CacheStats
+}
+
+func (p *padCache) enable(entries int) error {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return fmt.Errorf("crypto: cache entries %d not a power of two", entries)
+	}
+	p.entries = make([]padEntry, entries)
+	p.mask = uint64(entries - 1)
+	p.stats = keystream.CacheStats{}
+	return nil
+}
+
+func (p *padCache) enabled() bool { return p.entries != nil }
+
+// slot maps (addr, counter) to a cache entry — the same Fibonacci mix as
+// keystream.Cipher, so both caches see identical conflict patterns.
+func (p *padCache) slot(addr, counter uint64) *padEntry {
+	h := (addr>>6 ^ counter*0x9E3779B97F4A7C15) * 0x9E3779B97F4A7C15
+	return &p.entries[(h>>32)&p.mask]
+}
+
+// xorPad XORs one 64-byte block with a pad, word-wise. dst and src may be
+// the same slice.
+func xorPad(dst, src []byte, pad *[BlockSize]byte) {
+	_ = src[BlockSize-1]
+	_ = dst[BlockSize-1]
+	for i := 0; i < BlockSize; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:]) ^ binary.LittleEndian.Uint64(pad[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+}
+
+// Argument checks shared by the stream implementations; messages mirror
+// keystream's so error-path tests are backend-agnostic.
+
+func checkBlockLen(n int, what string) error {
+	if n != BlockSize {
+		return fmt.Errorf("crypto: %s must be %d bytes, got %d", what, BlockSize, n)
+	}
+	return nil
+}
+
+func checkSpanLen(n int) error {
+	if n == 0 || n%BlockSize != 0 {
+		return fmt.Errorf("crypto: length %d not a positive multiple of %d", n, BlockSize)
+	}
+	return nil
+}

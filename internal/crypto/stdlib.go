@@ -1,0 +1,222 @@
+package crypto
+
+import (
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"authmem/internal/gf64"
+	"authmem/internal/keystream"
+	"authmem/internal/mac"
+)
+
+// The "stdlib" backend: the same pad and MAC constructions as the T-table
+// path, but the AES permutation comes from crypto/aes, whose assembly picks
+// up AES-NI (amd64) or the ARMv8 crypto extensions for free. The GF(2^64)
+// polynomial hash has no standard-library equivalent, so it reuses the
+// windowed gf64 tables.
+//
+// cipher.Block is an interface, so any buffer passed to Encrypt escapes to
+// the heap. All scratch therefore lives in the stream/MAC structs (heap-
+// allocated once at construction), which is what keeps Pad/Tag at 0
+// allocs/op — and what makes instances single-owner: see the package
+// comment's concurrency contract.
+
+// lanes is the number of 16-byte AES blocks per 64-byte pad.
+const lanes = BlockSize / stdaes.BlockSize
+
+type stdlibBackend struct{}
+
+func init() { Register(stdlibBackend{}) }
+
+func (stdlibBackend) Name() string { return "stdlib" }
+
+func (stdlibBackend) NewStream(key []byte) (Stream, error) {
+	blk, err := stdaes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: %w", err)
+	}
+	return &stdlibStream{blk: blk}, nil
+}
+
+func (stdlibBackend) NewMAC(material []byte) (MAC, error) {
+	m := &stdlibMAC{}
+	if err := m.init(material); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// stdlibStream generates pads with crypto/aes. Nonce layout is identical to
+// keystream.Cipher: LE64(addr) ‖ LE64(counter | lane<<56).
+type stdlibStream struct {
+	blk   cipher.Block
+	cache padCache
+
+	// nonce and scratch are the per-call buffers; struct-resident so the
+	// interface Encrypt calls cost no allocations.
+	nonce   [stdaes.BlockSize]byte
+	scratch [BlockSize]byte
+}
+
+// generate writes the four-lane pad for (addr, counter) into dst.
+func (s *stdlibStream) generate(dst []byte, addr, counter uint64) {
+	binary.LittleEndian.PutUint64(s.nonce[:8], addr)
+	for lane := 0; lane < lanes; lane++ {
+		binary.LittleEndian.PutUint64(s.nonce[8:], counter|uint64(lane)<<56)
+		s.blk.Encrypt(dst[lane*16:(lane+1)*16], s.nonce[:])
+	}
+}
+
+// lookup returns the cached or freshly generated pad for (addr, counter).
+func (s *stdlibStream) lookup(addr, counter uint64) *[BlockSize]byte {
+	if !s.cache.enabled() {
+		s.generate(s.scratch[:], addr, counter)
+		return &s.scratch
+	}
+	e := s.cache.slot(addr, counter)
+	if e.valid && e.addr == addr && e.counter == counter {
+		s.cache.stats.Hits++
+		return &e.pad
+	}
+	s.cache.stats.Misses++
+	s.generate(e.pad[:], addr, counter)
+	e.addr, e.counter, e.valid = addr, counter, true
+	return &e.pad
+}
+
+func (s *stdlibStream) EnablePadCache(entries int) error { return s.cache.enable(entries) }
+
+func (s *stdlibStream) CacheStats() keystream.CacheStats { return s.cache.stats }
+
+func (s *stdlibStream) Pad(dst []byte, addr, counter uint64) error {
+	if err := checkBlockLen(len(dst), "dst"); err != nil {
+		return err
+	}
+	copy(dst, s.lookup(addr, counter)[:])
+	return nil
+}
+
+func (s *stdlibStream) PadN(dst []byte, addr, counter uint64) error {
+	if err := checkSpanLen(len(dst)); err != nil {
+		return err
+	}
+	for off := 0; off < len(dst); off += BlockSize {
+		copy(dst[off:off+BlockSize], s.lookup(addr+uint64(off), counter)[:])
+	}
+	return nil
+}
+
+func (s *stdlibStream) XOR(dst, src []byte, addr, counter uint64) error {
+	if err := checkBlockLen(len(src), "src"); err != nil {
+		return err
+	}
+	if err := checkBlockLen(len(dst), "dst"); err != nil {
+		return err
+	}
+	xorPad(dst, src, s.lookup(addr, counter))
+	return nil
+}
+
+func (s *stdlibStream) XORBlocks(dst, src []byte, addr, counter uint64) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("crypto: src/dst length mismatch (%d vs %d)", len(src), len(dst))
+	}
+	if err := checkSpanLen(len(src)); err != nil {
+		return err
+	}
+	for off := 0; off < len(src); off += BlockSize {
+		xorPad(dst[off:off+BlockSize], src[off:off+BlockSize], s.lookup(addr+uint64(off), counter))
+	}
+	return nil
+}
+
+// The scalar path has no wider kernel, so the batch entry points are the
+// span loops themselves (bit-equality with true batch kernels is what the
+// conformance suite checks).
+func (s *stdlibStream) PadBatch(dst []byte, addr, counter uint64) error {
+	return s.PadN(dst, addr, counter)
+}
+
+func (s *stdlibStream) XORBlocksBatch(dst, src []byte, addr, counter uint64) error {
+	return s.XORBlocks(dst, src, addr, counter)
+}
+
+// blockWords is the number of 64-bit words hashed per block.
+const blockWords = BlockSize / 8
+
+// stdlibMAC mirrors mac.Key — same hash-point derivation, same per-word
+// power tables, same PRF nonce — over a crypto/aes PRF.
+type stdlibMAC struct {
+	h   uint64
+	blk cipher.Block
+	pow [blockWords]*gf64.Table
+
+	// PRF scratch, struct-resident for the interface Encrypt call.
+	in, out [stdaes.BlockSize]byte
+}
+
+func (m *stdlibMAC) init(material []byte) error {
+	if len(material) != 24 {
+		return fmt.Errorf("crypto: MAC key material must be 24 bytes, got %d", len(material))
+	}
+	h := binary.LittleEndian.Uint64(material[:8])
+	if h == 0 {
+		h = 1 // same zero-point substitution as mac.NewKey
+	}
+	blk, err := stdaes.NewCipher(material[8:24])
+	if err != nil {
+		return fmt.Errorf("crypto: %w", err)
+	}
+	m.h, m.blk = h, blk
+	for i := 0; i < blockWords; i++ {
+		m.pow[i] = gf64.NewTable(gf64.Pow(h, uint64(blockWords-i)))
+	}
+	return nil
+}
+
+func (m *stdlibMAC) HashPoint() uint64 { return m.h }
+
+// prf computes PRF_k(addr, counter): one AES block over the nonce, low 64
+// bits.
+func (m *stdlibMAC) prf(addr, counter uint64) uint64 {
+	binary.LittleEndian.PutUint64(m.in[:8], addr)
+	binary.LittleEndian.PutUint64(m.in[8:], counter)
+	m.blk.Encrypt(m.out[:], m.in[:])
+	return binary.LittleEndian.Uint64(m.out[:8])
+}
+
+func (m *stdlibMAC) Tag(ciphertext []byte, addr, counter uint64) (uint64, error) {
+	if err := checkBlockLen(len(ciphertext), "ciphertext"); err != nil {
+		return 0, err
+	}
+	var hash uint64
+	for i := 0; i < blockWords; i++ {
+		hash ^= m.pow[i].Mul(binary.LittleEndian.Uint64(ciphertext[i*8:]))
+	}
+	return (hash ^ m.prf(addr, counter)) & mac.TagMask, nil
+}
+
+func (m *stdlibMAC) Verify(ciphertext []byte, addr, counter, tag uint64) (bool, error) {
+	want, err := m.Tag(ciphertext, addr, counter)
+	if err != nil {
+		return false, err
+	}
+	return want == tag&mac.TagMask, nil
+}
+
+func (m *stdlibMAC) TagBatch(tags []uint64, ciphertexts []byte, addr, counter uint64) error {
+	if len(ciphertexts) != len(tags)*BlockSize {
+		return fmt.Errorf("crypto: ciphertexts must be %d bytes for %d tags, got %d",
+			len(tags)*BlockSize, len(tags), len(ciphertexts))
+	}
+	for i := range tags {
+		t, err := m.Tag(ciphertexts[i*BlockSize:(i+1)*BlockSize], addr+uint64(i*BlockSize), counter)
+		if err != nil {
+			return err
+		}
+		tags[i] = t
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package crypto
+
+import (
+	"authmem/internal/keystream"
+	"authmem/internal/mac"
+)
+
+// ttableBackend is the from-scratch T-table path: keystream.Cipher and
+// mac.Key already implement Stream and MAC, so the backend is just their
+// constructors. It stays the default — portable, dependency-free, and the
+// reference every other backend is held bit-equal to.
+type ttableBackend struct{}
+
+func init() { Register(ttableBackend{}) }
+
+func (ttableBackend) Name() string { return "ttable" }
+
+func (ttableBackend) NewStream(key []byte) (Stream, error) {
+	return keystream.New(key)
+}
+
+func (ttableBackend) NewMAC(material []byte) (MAC, error) {
+	return mac.NewKey(material)
+}

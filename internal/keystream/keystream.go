@@ -192,6 +192,20 @@ func (c *Cipher) XORBlocks(dst, src []byte, addr, counter uint64) error {
 	return nil
 }
 
+// PadBatch is the batch-kernel name for PadN: backends with wide kernels
+// generate several blocks' pads per dispatch, and the conformance suite
+// holds every backend's batch kernel bit-equal to N scalar Pad calls. The
+// T-table path has no wider kernel than its scalar loop, so the alias *is*
+// the kernel here.
+func (c *Cipher) PadBatch(dst []byte, addr, counter uint64) error {
+	return c.PadN(dst, addr, counter)
+}
+
+// XORBlocksBatch is the batch-kernel name for XORBlocks (see PadBatch).
+func (c *Cipher) XORBlocksBatch(dst, src []byte, addr, counter uint64) error {
+	return c.XORBlocks(dst, src, addr, counter)
+}
+
 // xorBlock XORs one 64-byte block word-wise. dst and src may be the same
 // slice.
 func xorBlock(dst, src []byte, pad *[BlockSize]byte) {

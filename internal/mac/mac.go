@@ -106,6 +106,27 @@ func (k *Key) Tag(ciphertext []byte, addr uint64, counter uint64) (uint64, error
 	return (hash ^ k.pad(addr, counter)) & TagMask, nil
 }
 
+// TagBatch computes the tags of len(tags) contiguous ciphertext blocks
+// sharing one counter: block i of ciphertexts is tagged for address
+// addr + i*BlockSize. This is the seal shape of a group re-encryption sweep
+// and of a coalesced multi-block write; backends with batched PRF kernels
+// amortize the pad generation here, and the T-table path simply loops.
+// len(ciphertexts) must be len(tags)*BlockSize.
+func (k *Key) TagBatch(tags []uint64, ciphertexts []byte, addr uint64, counter uint64) error {
+	if len(ciphertexts) != len(tags)*BlockSize {
+		return fmt.Errorf("mac: ciphertexts must be %d bytes for %d tags, got %d",
+			len(tags)*BlockSize, len(tags), len(ciphertexts))
+	}
+	for i := range tags {
+		t, err := k.Tag(ciphertexts[i*BlockSize:(i+1)*BlockSize], addr+uint64(i*BlockSize), counter)
+		if err != nil {
+			return err
+		}
+		tags[i] = t
+	}
+	return nil
+}
+
 // Verify reports whether tag authenticates the ciphertext at (addr, counter).
 func (k *Key) Verify(ciphertext []byte, addr, counter, tag uint64) (bool, error) {
 	want, err := k.Tag(ciphertext, addr, counter)

@@ -120,9 +120,18 @@ type Outcome struct {
 	HardwareChecks int
 }
 
+// Key is the slice of the MAC surface the verifier needs: tag computation
+// for the integrity check, and the secret hash point for the per-bit
+// contribution tables. *mac.Key and every crypto.Backend MAC satisfy it, so
+// the verifier is backend-agnostic.
+type Key interface {
+	Tag(ciphertext []byte, addr, counter uint64) (uint64, error)
+	HashPoint() uint64
+}
+
 // Verifier verifies MAC-in-ECC blocks and corrects faults.
 type Verifier struct {
-	key *mac.Key
+	key Key
 	// CorrectBits bounds the flip-and-check search: 0 disables data
 	// correction (detection only), 1 corrects single flips, 2 also
 	// corrects double flips. The paper evaluates 2 as the practical
@@ -139,7 +148,7 @@ type Verifier struct {
 
 // NewVerifier builds a Verifier around a MAC key, precomputing the per-bit
 // tag-contribution tables from the key's hash point.
-func NewVerifier(key *mac.Key, correctBits int) (*Verifier, error) {
+func NewVerifier(key Key, correctBits int) (*Verifier, error) {
 	if key == nil {
 		return nil, fmt.Errorf("macecc: nil key")
 	}

@@ -21,8 +21,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"slices"
-
-	"authmem/internal/mac"
 )
 
 // Arity is the tree fan-out: 8 64-bit child MACs per 64-byte node.
@@ -45,11 +43,18 @@ func (e *ErrTampered) Error() string {
 	return fmt.Sprintf("tree: integrity violation at level %d node %d", e.Level, e.Index)
 }
 
+// Hasher is the slice of the MAC surface the tree needs: one keyed tag per
+// node image. *mac.Key and every crypto.Backend MAC satisfy it, so the tree
+// is backend-agnostic.
+type Hasher interface {
+	Tag(image []byte, addr, counter uint64) (uint64, error)
+}
+
 // Tree is a Bonsai Merkle tree. Node storage below the top level models
 // off-chip DRAM: it is exported to attack via CorruptNode, and verification
 // never trusts it. The top level models on-chip SRAM and is trusted.
 type Tree struct {
-	key    *mac.Key
+	key    Hasher
 	leaves uint64
 
 	// levels[k] holds level k+1's node images (level 0 is the leaves,
@@ -64,7 +69,7 @@ type Tree struct {
 // given on-chip budget in bytes. The initial images correspond to all-zero
 // leaves only after Rebuild or per-leaf updates; callers normally Rebuild
 // once after construction.
-func New(key *mac.Key, numLeaves uint64, onChipBytes int) (*Tree, error) {
+func New(key Hasher, numLeaves uint64, onChipBytes int) (*Tree, error) {
 	if key == nil {
 		return nil, fmt.Errorf("tree: nil key")
 	}
