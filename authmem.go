@@ -130,6 +130,17 @@ type Config struct {
 	// "ttable". All backends produce bit-identical stored images, so a
 	// region written under one verifies under any other.
 	CryptoBackend string
+	// ECCCodec selects the check-lane codec. Under MACInECC the only
+	// codec is "macsecded" (the paper's MAC+Hamming+parity lane); under
+	// InlineMAC choose "secded" (8 check bytes, corrects single-bit
+	// faults) or "residue" (4 check bytes, detection only — half the
+	// check storage). Unlike crypto backends, codecs change the stored
+	// format and the protection guarantees: an explicit codec that does
+	// not match Placement is a configuration error, and a persisted image
+	// only resumes under the codec that wrote it. Empty consults the
+	// AUTHMEM_ECC_CODEC environment variable (ignored when incompatible
+	// with Placement), then the placement's default.
+	ECCCodec string
 }
 
 // KeySize is the required Config.Key length.
@@ -170,6 +181,7 @@ func (c Config) internal() (core.Config, error) {
 		KeyMaterial:        c.Key,
 		DataTree:           c.ClassicDataTree,
 		CryptoBackend:      c.CryptoBackend,
+		ECCCodec:           c.ECCCodec,
 	}
 	if cfg.MetadataCacheBytes == 0 {
 		cfg.MetadataCacheBytes = 32 << 10
@@ -365,6 +377,13 @@ func (m *Memory) FlipECCBit(addr uint64, bit int) error {
 // FlipMACBit flips one stored MAC-tag bit (InlineMAC placement).
 func (m *Memory) FlipMACBit(addr uint64, bit int) error {
 	return m.eng.TamperInlineTag(addr, bit)
+}
+
+// FlipCheckBit flips one bit of a block's codec check bytes (InlineMAC
+// placement). The valid bit range is the codec's CheckBytes*8: 64 for
+// "secded", 32 for "residue".
+func (m *Memory) FlipCheckBit(addr uint64, bit int) error {
+	return m.eng.TamperCheckBit(addr, bit)
 }
 
 // FlipCounterBit flips one bit of the counter block covering addr.

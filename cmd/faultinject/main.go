@@ -1,10 +1,10 @@
 // Command faultinject exercises the design's fault handling at two scales.
 //
-// The default mode reproduces Figure 3: how standard SEC-DED ECC and the
-// proposed MAC-in-ECC scheme handle different bit-flip fault patterns on a
-// single isolated block. For each fault class it reports the fraction of
-// injected faults that were corrected, detected-but-uncorrectable, or
-// silently miscorrected.
+// The default mode reproduces Figure 3: how standard SEC-DED ECC, the
+// detection-only residue code, and the proposed MAC-in-ECC scheme handle
+// different bit-flip fault patterns on a single isolated block. For each
+// fault class it reports the fraction of injected faults that were
+// corrected, detected-but-uncorrectable, or silently miscorrected.
 //
 // The -campaign mode runs the end-to-end fault-injection campaign engine
 // (internal/campaign): a randomized workload drives a full engine while
@@ -30,14 +30,19 @@
 //
 //	faultinject [-trials n] [-seed s] [-budget 0|1|2]
 //	faultinject -campaign [-trials n] [-seed s] [-budget 0|1|2]
-//	           [-scheme delta] [-placement macecc] [-app facesim]
+//	           [-scheme delta] [-placement macecc] [-ecc codec] [-app facesim]
 //	           [-rate 0.15] [-burst 4] [-out CAMPAIGN_report.json]
 //	faultinject -concurrent [-trials n] [-seed s] [-shards 4] [-workers 3]
-//	           [-scheme delta] [-placement macecc]
+//	           [-scheme delta] [-placement macecc] [-ecc codec]
 //	           [-rate 0.15] [-burst 4] [-out CONCURRENT_report.json]
 //	faultinject -strike [-trials n] [-seed s] [-shards 4] [-workers 3]
-//	           [-scheme delta] [-placement macecc]
+//	           [-scheme delta] [-placement macecc] [-ecc codec]
 //	           [-burst 4] [-out STRIKE_report.json]
+//
+// -ecc selects the ECC codec for campaign engines (secded, macsecded,
+// residue — see internal/ecc). Because a codec either carries the MAC or
+// doesn't, -ecc also implies the placement: macsecded forces -placement
+// macecc, secded/residue force -placement inline.
 package main
 
 import (
@@ -45,9 +50,12 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"authmem/internal/campaign"
 	"authmem/internal/core"
 	"authmem/internal/ctr"
+	"authmem/internal/ecc"
 	"authmem/internal/fault"
 	"authmem/internal/stats"
 )
@@ -63,6 +71,8 @@ func main() {
 	budget := flag.Int("budget", 2, "MAC-in-ECC flip-and-check budget (bits)")
 	scheme := flag.String("scheme", "delta", "campaign counter scheme: monolithic|split|delta|dual")
 	placement := flag.String("placement", "macecc", "campaign MAC placement: inline|macecc")
+	eccName := flag.String("ecc", "", fmt.Sprintf("campaign ECC codec: %s (implies placement; default: placement's default)",
+		strings.Join(ecc.Names(), "|")))
 	backend := flag.String("backend", "", "crypto backend for campaign engines: ttable|stdlib|batch8 (default: $AUTHMEM_CRYPTO_BACKEND, then ttable)")
 	app := flag.String("app", "facesim", "campaign workload application (see internal/workload)")
 	rate := flag.Float64("rate", 0.15, "campaign per-operation fault probability")
@@ -71,30 +81,35 @@ func main() {
 	flag.Parse()
 
 	if *runStrike {
-		mainStrike(*trials, *seed, *budget, *scheme, *placement, *backend, *burst, *shards, *workers, *out)
+		ecfg := engineConfig(*scheme, *placement, *eccName, *backend, *budget)
+		mainStrike(ecfg, *trials, *seed, *burst, *shards, *workers, *out)
 		return
 	}
 	if *runConcurrent {
-		mainConcurrent(*trials, *seed, *budget, *scheme, *placement, *backend, *rate, *burst, *shards, *workers, *out)
+		ecfg := engineConfig(*scheme, *placement, *eccName, *backend, *budget)
+		mainConcurrent(ecfg, *trials, *seed, *rate, *burst, *shards, *workers, *out)
 		return
 	}
 	if *runCampaign {
-		mainCampaign(*trials, *seed, *budget, *scheme, *placement, *backend, *app, *rate, *burst, *out)
+		ecfg := engineConfig(*scheme, *placement, *eccName, *backend, *budget)
+		mainCampaign(ecfg, *trials, *seed, *app, *rate, *burst, *out)
 		return
 	}
 
 	fmt.Printf("Figure 3: error handling by fault pattern (%d trials per cell)\n", *trials)
 	fmt.Printf("cells are corrected%% / detected%% / miscorrected%%\n\n")
 
-	tb := stats.NewTable("fault pattern", "SEC-DED(72,64)", fmt.Sprintf("MAC-in-ECC (budget %d)", *budget))
+	tb := stats.NewTable("fault pattern", "SEC-DED(72,64)", "residue(32)",
+		fmt.Sprintf("MAC-in-ECC (budget %d)", *budget))
 	for _, class := range fault.Classes() {
 		sec := fault.InjectSECDED(class, *trials, *seed)
+		res := fault.InjectResidue(class, *trials, *seed)
 		mec, err := fault.InjectMACECC(class, *trials, *seed, *budget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faultinject:", err)
 			os.Exit(1)
 		}
-		tb.AddRow(class.String(), cell(sec), cell(mec))
+		tb.AddRow(class.String(), cell(sec), cell(res), cell(mec))
 	}
 	fmt.Print(tb)
 	fmt.Println("\nReading the table (paper §3.3-§3.4):")
@@ -102,6 +117,66 @@ func main() {
 	fmt.Println(" - one flip in each of many words: only SEC-DED corrects")
 	fmt.Println(" - >=3 flips in one word: SEC-DED can silently miscorrect;")
 	fmt.Println("   MAC-in-ECC always detects (full error detection on data)")
+	fmt.Println(" - residue(32) corrects nothing but stores half the check bits;")
+	fmt.Println("   its miscorrected cells are residue-aliasing blind spots, which")
+	fmt.Println("   the engine's end-to-end MAC still catches")
+}
+
+// engineConfig resolves the campaign design point from the command line.
+// When -ecc names a codec, the codec decides the placement (a codec either
+// carries the MAC in the ECC lane or it does not); an explicit conflicting
+// -placement is rejected rather than silently overridden.
+func engineConfig(scheme, placement, eccName, backend string, budget int) core.Config {
+	kind, ok := schemes[scheme]
+	if !ok {
+		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
+	}
+	var place core.MACPlacement
+	switch placement {
+	case "inline":
+		place = core.MACInline
+	case "macecc":
+		place = core.MACInECC
+	default:
+		fatalf("unknown placement %q (inline|macecc)", placement)
+	}
+	if eccName != "" {
+		cod, err := ecc.Lookup(eccName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		implied := core.MACInline
+		if cod.CarriesMAC() {
+			implied = core.MACInECC
+		}
+		if isFlagSet("placement") && place != implied {
+			fatalf("-ecc %s implies -placement %s, got -placement %s",
+				cod.Name(), placementFlag(implied), placement)
+		}
+		place = implied
+	}
+	ecfg := core.Default(kind, place)
+	ecfg.CorrectBits = budget
+	ecfg.CryptoBackend = backend
+	ecfg.ECCCodec = eccName
+	return ecfg
+}
+
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func placementFlag(p core.MACPlacement) string {
+	if p == core.MACInECC {
+		return "macecc"
+	}
+	return "inline"
 }
 
 func cell(r fault.Result) string {
@@ -116,31 +191,14 @@ var schemes = map[string]ctr.Kind{
 	"dual":       ctr.DualLength,
 }
 
-func mainCampaign(ops int, seed int64, budget int, scheme, placement, backend, app string, rate float64, burst int, out string) {
-	kind, ok := schemes[scheme]
-	if !ok {
-		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
-	}
-	var place core.MACPlacement
-	switch placement {
-	case "inline":
-		place = core.MACInline
-	case "macecc":
-		place = core.MACInECC
-	default:
-		fatalf("unknown placement %q (inline|macecc)", placement)
-	}
-	ecfg := core.Default(kind, place)
-	ecfg.CorrectBits = budget
-	ecfg.CryptoBackend = backend
-
+func mainCampaign(ecfg core.Config, ops int, seed int64, app string, rate float64, burst int, out string) {
 	cfg := campaign.Default(ecfg, ops, seed)
 	cfg.App = app
 	cfg.FaultRate = rate
 	cfg.BurstMax = burst
 
-	fmt.Printf("Campaign: %s / %s, budget %d, ~%d ops across %d planes, seed %d\n",
-		kind, place, budget, ops, len(campaign.Planes()), seed)
+	fmt.Printf("Campaign: %s / %s / %s, budget %d, ~%d ops across %d planes, seed %d\n",
+		ecfg.Scheme, ecfg.Placement, ecfg.CodecName(), ecfg.CorrectBits, ops, len(campaign.Planes()), seed)
 	rep, err := campaign.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -169,32 +227,15 @@ func mainCampaign(ops int, seed int64, budget int, scheme, placement, backend, a
 	fmt.Printf("PASS: %d operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
 }
 
-func mainConcurrent(ops int, seed int64, budget int, scheme, placement, backend string, rate float64, burst, shards, workers int, out string) {
-	kind, ok := schemes[scheme]
-	if !ok {
-		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
-	}
-	var place core.MACPlacement
-	switch placement {
-	case "inline":
-		place = core.MACInline
-	case "macecc":
-		place = core.MACInECC
-	default:
-		fatalf("unknown placement %q (inline|macecc)", placement)
-	}
-	ecfg := core.Default(kind, place)
-	ecfg.CorrectBits = budget
-	ecfg.CryptoBackend = backend
-
+func mainConcurrent(ecfg core.Config, ops int, seed int64, rate float64, burst, shards, workers int, out string) {
 	cfg := campaign.DefaultConcurrent(ecfg, ops, seed)
 	cfg.FaultRate = rate
 	cfg.BurstMax = burst
 	cfg.Shards = shards
 	cfg.Workers = workers
 
-	fmt.Printf("Concurrent campaign: %s / %s, budget %d, %d shards x %d workers, ~%d ops, seed %d\n",
-		kind, place, budget, shards, workers, cfg.OpsPerWorker*workers, seed)
+	fmt.Printf("Concurrent campaign: %s / %s / %s, budget %d, %d shards x %d workers, ~%d ops, seed %d\n",
+		ecfg.Scheme, ecfg.Placement, ecfg.CodecName(), ecfg.CorrectBits, shards, workers, cfg.OpsPerWorker*workers, seed)
 	rep, err := campaign.RunConcurrent(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -226,31 +267,14 @@ func mainConcurrent(ops int, seed int64, budget int, scheme, placement, backend 
 	fmt.Printf("PASS: %d concurrent operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
 }
 
-func mainStrike(ops int, seed int64, budget int, scheme, placement, backend string, burst, shards, readers int, out string) {
-	kind, ok := schemes[scheme]
-	if !ok {
-		fatalf("unknown scheme %q (monolithic|split|delta|dual)", scheme)
-	}
-	var place core.MACPlacement
-	switch placement {
-	case "inline":
-		place = core.MACInline
-	case "macecc":
-		place = core.MACInECC
-	default:
-		fatalf("unknown placement %q (inline|macecc)", placement)
-	}
-	ecfg := core.Default(kind, place)
-	ecfg.CorrectBits = budget
-	ecfg.CryptoBackend = backend
-
+func mainStrike(ecfg core.Config, ops int, seed int64, burst, shards, readers int, out string) {
 	cfg := campaign.DefaultStrike(ecfg, ops, seed)
 	cfg.BurstMax = burst
 	cfg.Shards = shards
 	cfg.Readers = readers
 
-	fmt.Printf("Strike campaign: %s / %s, budget %d, %d shards x %d lock-free readers, %d strikes, seed %d\n",
-		kind, place, budget, shards, readers, cfg.Strikes, seed)
+	fmt.Printf("Strike campaign: %s / %s / %s, budget %d, %d shards x %d lock-free readers, %d strikes, seed %d\n",
+		ecfg.Scheme, ecfg.Placement, ecfg.CodecName(), ecfg.CorrectBits, shards, readers, cfg.Strikes, seed)
 	rep, err := campaign.RunStrike(cfg)
 	if err != nil {
 		fatalf("%v", err)

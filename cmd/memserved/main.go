@@ -31,6 +31,7 @@ import (
 
 	"authmem"
 	"authmem/client"
+	"authmem/internal/ecc"
 	"authmem/internal/server"
 	"authmem/internal/wire"
 )
@@ -41,6 +42,7 @@ func main() {
 		size      = flag.Uint64("size", 64<<20, "protected region size in bytes")
 		shards    = flag.Int("shards", 4, "shard count (power of two; 1 = single locked engine)")
 		scheme    = flag.String("scheme", "delta", "counter scheme: delta, split, or mono")
+		eccCodec  = flag.String("ecc", "", "ECC codec: macsecded, secded, or residue (non-MAC codecs imply inline MAC placement; default: $AUTHMEM_ECC_CODEC, then macsecded)")
 		crypto    = flag.String("crypto", "", "crypto backend: ttable, stdlib, or batch8 (default: $AUTHMEM_CRYPTO_BACKEND, then ttable)")
 		keyHex    = flag.String("key-hex", "", "device key, hex-encoded (40 bytes)")
 		devKey    = flag.Bool("dev-key", false, "use a fixed all-zeros development key (NOT for real data)")
@@ -70,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	backend, desc, err := buildBackend(*size, *shards, *scheme, *crypto, key)
+	backend, desc, err := buildBackend(*size, *shards, *scheme, *eccCodec, *crypto, key)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func resolveKey(keyHex string, devKey bool) ([]byte, error) {
 	}
 }
 
-func buildBackend(size uint64, shards int, scheme, crypto string, key []byte) (server.Backend, string, error) {
+func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key []byte) (server.Backend, string, error) {
 	cfg := authmem.DefaultConfig(size)
 	cfg.Key = key
 	cfg.CryptoBackend = crypto
@@ -158,6 +160,23 @@ func buildBackend(size uint64, shards int, scheme, crypto string, key []byte) (s
 	default:
 		return nil, "", fmt.Errorf("-scheme: unknown scheme %q (want delta, split, or mono)", scheme)
 	}
+	eccDesc := "macsecded"
+	if eccCodec != "" {
+		// The codec decides the placement: a block codec (secded, residue)
+		// stores check bytes beside inline MAC tags, macsecded carries the
+		// MAC inside the ECC lane.
+		cod, err := ecc.Lookup(eccCodec)
+		if err != nil {
+			return nil, "", fmt.Errorf("-ecc: %w", err)
+		}
+		cfg.ECCCodec = eccCodec
+		if cod.CarriesMAC() {
+			cfg.Placement = authmem.MACInECC
+		} else {
+			cfg.Placement = authmem.InlineMAC
+		}
+		eccDesc = cod.Name()
+	}
 	if crypto == "" {
 		crypto = "default crypto"
 	} else {
@@ -168,13 +187,13 @@ func buildBackend(size uint64, shards int, scheme, crypto string, key []byte) (s
 		if err != nil {
 			return nil, "", err
 		}
-		return m, fmt.Sprintf("%dMB %s region across %d shards (%s)", size>>20, scheme, shards, crypto), nil
+		return m, fmt.Sprintf("%dMB %s region across %d shards (%s ecc, %s)", size>>20, scheme, shards, eccDesc, crypto), nil
 	}
 	m, err := authmem.NewSync(cfg)
 	if err != nil {
 		return nil, "", err
 	}
-	return m, fmt.Sprintf("%dMB %s region (single engine, %s)", size>>20, scheme, crypto), nil
+	return m, fmt.Sprintf("%dMB %s region (single engine, %s ecc, %s)", size>>20, scheme, eccDesc, crypto), nil
 }
 
 // runSmoke is the CI smoke client: concurrent workers pipeline writes and

@@ -46,6 +46,8 @@ func main() {
 	srvBenchOut := flag.String("server-out", "BENCH_server.json", "output path for -server")
 	cryptoBench := flag.Bool("crypto", false, "run the crypto-backend comparison (ttable vs stdlib vs batch8 batch kernels and group seal/re-encrypt) and write the tracked JSON baseline")
 	cryptoBenchOut := flag.String("crypto-out", "BENCH_crypto.json", "output path for -crypto")
+	eccBench := flag.Bool("ecc", false, "run the ECC-codec comparison (secded vs residue vs macsecded check-bit kernels and engine seal/read) and write the tracked JSON baseline")
+	eccBenchOut := flag.String("ecc-out", "BENCH_ecc.json", "output path for -ecc")
 	quick := flag.Bool("quick", false, "shrink the -writepath/-server workloads for a fast smoke run")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
@@ -59,13 +61,13 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *eccBench || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench = true, true, true, true, true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench, *eccBench = true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -107,6 +109,9 @@ func main() {
 	}
 	if *cryptoBench {
 		runCrypto(*cryptoBenchOut, *quick)
+	}
+	if *eccBench {
+		runECCBench(*eccBenchOut, *quick)
 	}
 	if *fig1 {
 		runFig1()

@@ -212,6 +212,7 @@ type PlaneReport struct {
 type Report struct {
 	Scheme        string  `json:"scheme"`
 	Placement     string  `json:"placement"`
+	Codec         string  `json:"codec"`
 	CorrectBits   int     `json:"correct_bits"`
 	Seed          int64   `json:"seed"`
 	App           string  `json:"app"`
@@ -261,6 +262,7 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{
 		Scheme:        ecfg.Scheme.String(),
 		Placement:     ecfg.Placement.String(),
+		Codec:         ecfg.CodecName(),
 		CorrectBits:   ecfg.CorrectBits,
 		Seed:          cfg.Seed,
 		App:           cfg.App,

@@ -99,6 +99,7 @@ func (c ConcurrentConfig) Validate() error {
 type ConcurrentReport struct {
 	Scheme    string `json:"scheme"`
 	Placement string `json:"placement"`
+	Codec     string `json:"codec"`
 	Shards    int    `json:"shards"`
 	Workers   int    `json:"workers"`
 	Seed      int64  `json:"seed"`
@@ -173,6 +174,7 @@ func RunConcurrent(cfg ConcurrentConfig) (*ConcurrentReport, error) {
 	rep := &ConcurrentReport{
 		Scheme:    ecfg.Scheme.String(),
 		Placement: ecfg.Placement.String(),
+		Codec:     ecfg.CodecName(),
 		Shards:    cfg.Shards,
 		Workers:   cfg.Workers,
 		Seed:      cfg.Seed,

@@ -167,10 +167,15 @@ func (p *phaseRun) applyFlip(blk uint64, plane Plane, bit int) {
 	case PlaneCiphertext:
 		err = p.eng.TamperCiphertext(addr, bit)
 	case PlaneECC:
-		if p.ecfg.Placement == core.MACInECC {
+		switch {
+		case p.ecfg.Placement == core.MACInECC:
 			err = p.eng.TamperECCLane(addr, bit)
-		} else {
+		case bit < 64:
 			err = p.eng.TamperInlineTag(addr, bit)
+		default:
+			// Inline placement: bits past the tag land in the codec's
+			// dedicated check storage (see injectFault's bit space).
+			err = p.eng.TamperCheckBit(addr, bit-64)
 		}
 	}
 	if err != nil {
@@ -197,7 +202,10 @@ func (p *phaseRun) injectFault() {
 	case PlaneCiphertext, PlaneECC:
 		bits := core.BlockBytes * 8 // ciphertext bits
 		if plane == PlaneECC {
-			bits = 64 // ECC lane / inline tag width
+			// ECC lane (MACInECC) or inline tag width; under the inline
+			// placement the codec's dedicated check bytes are attackable
+			// storage too, addressed as bits 64.. (see applyFlip).
+			bits = 64 + p.eng.InlineCheckBits()
 		}
 		transient := p.rng.Float64() < p.cfg.TransientFrac
 		for i := 0; i < flips; i++ {

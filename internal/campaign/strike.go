@@ -98,6 +98,7 @@ func (c StrikeConfig) Validate() error {
 type StrikeReport struct {
 	Scheme    string `json:"scheme"`
 	Placement string `json:"placement"`
+	Codec     string `json:"codec"`
 	Shards    int    `json:"shards"`
 	Readers   int    `json:"readers"`
 	Seed      int64  `json:"seed"`
@@ -173,6 +174,7 @@ func RunStrike(cfg StrikeConfig) (*StrikeReport, error) {
 	rep := &StrikeReport{
 		Scheme:    ecfg.Scheme.String(),
 		Placement: ecfg.Placement.String(),
+		Codec:     ecfg.CodecName(),
 		Shards:    cfg.Shards,
 		Readers:   cfg.Readers,
 		Seed:      cfg.Seed,

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"sync"
 
-	"authmem/internal/macecc"
 	"authmem/internal/tree"
 )
 
@@ -48,14 +47,41 @@ func (e *Engine) TamperECCLane(addr uint64, bit int) error {
 	if e.cfg.Placement != MACInECC {
 		return fmt.Errorf("core: ECC lane only exists under MACInECC")
 	}
+	if bit < 0 || bit >= 64 {
+		return fmt.Errorf("core: bit %d out of range", bit)
+	}
 	if !e.store.Present(blk) {
 		return fmt.Errorf("core: block %#x not resident", addr)
 	}
 	if e.bc != nil {
 		e.bc.evict(blk)
 	}
-	meta := macecc.Meta(e.store.Meta(blk))
-	e.store.SetMeta(blk, uint64(meta.Flip(bit)))
+	e.store.SetMeta(blk, e.store.Meta(blk)^1<<uint(bit))
+	return nil
+}
+
+// TamperCheckBit flips one bit of a block's stored check bytes (inline
+// placement only — the codec's dedicated check storage next to the inline
+// tag). The attackable bit space is InlineCheckBits wide: 64 bits for
+// SEC-DED(72,64), 32 for the residue code.
+func (e *Engine) TamperCheckBit(addr uint64, bit int) error {
+	blk, err := e.attackBlock(addr)
+	if err != nil {
+		return err
+	}
+	if e.cfg.Placement != MACInline {
+		return fmt.Errorf("core: check bytes only exist under MACInline")
+	}
+	if bit < 0 || bit >= e.InlineCheckBits() {
+		return fmt.Errorf("core: bit %d out of range", bit)
+	}
+	if !e.store.Present(blk) {
+		return fmt.Errorf("core: block %#x not resident", addr)
+	}
+	if e.bc != nil {
+		e.bc.evict(blk)
+	}
+	e.store.Check(blk)[bit/8] ^= 1 << uint(bit%8)
 	return nil
 }
 
@@ -130,8 +156,8 @@ type BlockSnapshot struct {
 	addr       uint64
 	hasData    bool
 	ciphertext [BlockBytes]byte
-	meta       uint64 // ECC-lane image or inline tag
-	dataCheck  [8]uint8
+	meta       uint64   // ECC-lane image or inline tag
+	dataCheck  [8]uint8 // inline codec check bytes; first CheckBytes used
 	counterImg [BlockBytes]byte
 }
 
@@ -248,8 +274,7 @@ func (e *Engine) Scrub() (ScrubReport, error) {
 	var flagged []uint64
 	e.store.forEach(func(blk uint64, ct []byte, meta *uint64, _ []byte) {
 		r.BlocksScanned++
-		m := macecc.Meta(*meta)
-		if macecc.Scrub(ct, m) && macecc.ScrubMeta(m) {
+		if e.ver.ScrubData(ct, *meta) && e.ver.ScrubLane(*meta) {
 			return
 		}
 		flagged = append(flagged, blk)
@@ -288,8 +313,10 @@ func (e *Engine) ParallelScrub(workers int) (ScrubReport, error) {
 			for ci := w; ci < e.store.chunkCount(); ci += workers {
 				e.store.forEachInChunk(ci, func(blk uint64, ct []byte, meta *uint64) {
 					scanned[w]++
-					m := macecc.Meta(*meta)
-					if macecc.Scrub(ct, m) && macecc.ScrubMeta(m) {
+					// ScrubData/ScrubLane are pure (see ecc.LaneVerifier),
+					// so sharing the engine's verifier across shards races
+					// with nothing.
+					if e.ver.ScrubData(ct, *meta) && e.ver.ScrubLane(*meta) {
 						return
 					}
 					flaggedBy[w] = append(flaggedBy[w], blk)
@@ -331,13 +358,12 @@ func (e *Engine) correctFlagged(flagged []uint64, r *ScrubReport) error {
 			continue
 		}
 		ct := e.store.Ciphertext(blk)
-		meta := macecc.Meta(e.store.Meta(blk))
-		out, err := e.ver.VerifyAndCorrect(ct, &meta, blk*BlockBytes, counter)
+		lane, out, err := e.ver.VerifyAndCorrect(ct, e.store.Meta(blk), blk*BlockBytes, counter)
 		if err != nil {
 			return err
 		}
-		if out.Status == macecc.OK {
-			e.store.SetMeta(blk, uint64(meta))
+		if out.OK {
+			e.store.SetMeta(blk, lane)
 			if out.CorrectedDataBits > 0 || out.CorrectedMACBits > 0 {
 				r.Corrected++
 			}

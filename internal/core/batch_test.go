@@ -218,7 +218,7 @@ func TestParallelScrubRequiresMACInECC(t *testing.T) {
 // TestBlockStoreBasics pins the arena semantics the engine depends on:
 // presence, stable slices, ascending iteration, and the shared zero image.
 func TestBlockStoreBasics(t *testing.T) {
-	s := newBlockStore(3*chunkBlocks, true)
+	s := newBlockStore(3*chunkBlocks, 8)
 	if s.Len() != 0 || s.Present(0) || s.Ciphertext(0) != nil {
 		t.Fatal("fresh store not empty")
 	}

@@ -23,27 +23,29 @@ const chunkBlocks = 1024
 
 // blockChunk is one arena chunk: contiguous ciphertext plus the per-block
 // 8-byte metadata lane (ECC-lane image under MACInECC, MAC tag under
-// MACInline) and, for the inline placement only, SEC-DED check bytes.
+// MACInline) and, for the inline placement only, the codec's check bytes.
 type blockChunk struct {
 	present [chunkBlocks / 64]uint64
 	data    [chunkBlocks * BlockBytes]byte
 	meta    [chunkBlocks]uint64
-	check   []byte // chunkBlocks*8 SEC-DED bytes; nil under MACInECC
+	check   []byte // chunkBlocks*checkBytes codec bytes; nil under MACInECC
 }
 
 // blockStore is a chunked arena over the protected region's blocks.
 type blockStore struct {
-	nblocks   uint64
-	withCheck bool
-	chunks    []*blockChunk
-	resident  int
+	nblocks uint64
+	// checkBytes is the per-block check stride (the inline codec's
+	// CheckBytes; 0 under MACInECC or with encryption disabled).
+	checkBytes int
+	chunks     []*blockChunk
+	resident   int
 }
 
-func newBlockStore(nblocks uint64, withCheck bool) *blockStore {
+func newBlockStore(nblocks uint64, checkBytes int) *blockStore {
 	return &blockStore{
-		nblocks:   nblocks,
-		withCheck: withCheck,
-		chunks:    make([]*blockChunk, (nblocks+chunkBlocks-1)/chunkBlocks),
+		nblocks:    nblocks,
+		checkBytes: checkBytes,
+		chunks:     make([]*blockChunk, (nblocks+chunkBlocks-1)/chunkBlocks),
 	}
 }
 
@@ -79,8 +81,8 @@ func (s *blockStore) Materialize(blk uint64) []byte {
 	c := s.chunks[ci]
 	if c == nil {
 		c = new(blockChunk)
-		if s.withCheck {
-			c.check = make([]byte, chunkBlocks*8)
+		if s.checkBytes > 0 {
+			c.check = make([]byte, chunkBlocks*s.checkBytes)
 		}
 		s.chunks[ci] = c
 	}
@@ -107,11 +109,12 @@ func (s *blockStore) SetMeta(blk uint64, v uint64) {
 	c.meta[i] = v
 }
 
-// Check returns blk's 8 SEC-DED bytes (inline placement only). The block
+// Check returns blk's codec check bytes (inline placement only). The block
 // must be resident; the slice points into the arena.
 func (s *blockStore) Check(blk uint64) []byte {
 	c, i := s.chunk(blk)
-	return c.check[i*8 : (i+1)*8 : (i+1)*8]
+	cb := uint64(s.checkBytes)
+	return c.check[i*cb : (i+1)*cb : (i+1)*cb]
 }
 
 // forEach visits every resident block in ascending order.
@@ -127,7 +130,8 @@ func (s *blockStore) forEach(fn func(blk uint64, ct []byte, meta *uint64, check 
 				words &= words - 1
 				var check []byte
 				if c.check != nil {
-					check = c.check[i*8 : (i+1)*8]
+					cb := uint64(s.checkBytes)
+					check = c.check[i*cb : (i+1)*cb]
 				}
 				fn(base+i, c.data[i*BlockBytes:(i+1)*BlockBytes:(i+1)*BlockBytes], &c.meta[i], check)
 			}

@@ -23,9 +23,16 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"authmem/internal/crypto"
 	"authmem/internal/ctr"
+	"authmem/internal/ecc"
+
+	// The MAC-carrying "macsecded" codec registers itself with the ecc
+	// registry from init; the engine only ever speaks to the interface, so
+	// this blank import is what keeps the codec linked in.
+	_ "authmem/internal/macecc"
 )
 
 // BlockBytes is the protection granularity (one cache line).
@@ -94,6 +101,16 @@ type Config struct {
 	// AUTHMEM_CRYPTO_BACKEND environment variable, then "ttable". All
 	// backends are bit-compatible, so the choice affects speed only.
 	CryptoBackend string
+	// ECCCodec names the check-lane codec (see internal/ecc: "secded" and
+	// "residue" for the inline placement, "macsecded" for MAC-in-ECC).
+	// Unlike crypto backends, codecs are NOT interchangeable — they change
+	// the stored format and the detection/correction guarantees — so an
+	// explicit name incompatible with Placement is a Validate error.
+	// Empty consults the AUTHMEM_ECC_CODEC environment variable; an
+	// environment selection incompatible with Placement is ignored in
+	// favor of the placement's default, so codec-matrix test runs do not
+	// break tests pinned to the other placement.
+	ECCCodec string
 }
 
 // KeyMaterialLen is the required KeyMaterial length.
@@ -144,8 +161,55 @@ func (c Config) Validate() error {
 		if _, err := crypto.Lookup(c.CryptoBackend); err != nil {
 			return err
 		}
+		if _, err := c.resolveCodec(); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// resolveCodec maps the configuration to its ECC codec. An explicit
+// ECCCodec must exist and match the MAC placement (a MAC-carrying codec
+// under MACInECC, a plain block codec under MACInline). An empty name
+// consults $AUTHMEM_ECC_CODEC, falling back to the placement's default when
+// the environment names an incompatible (but known) codec — see the
+// ECCCodec field comment.
+func (c Config) resolveCodec() (ecc.Codec, error) {
+	wantMAC := c.Placement == MACInECC
+	if c.ECCCodec != "" {
+		cod, err := ecc.Lookup(c.ECCCodec)
+		if err != nil {
+			return nil, err
+		}
+		if cod.CarriesMAC() != wantMAC {
+			return nil, fmt.Errorf("core: ECC codec %q is incompatible with placement %s", cod.Name(), c.Placement)
+		}
+		return cod, nil
+	}
+	if env := os.Getenv(ecc.EnvCodec); env != "" {
+		cod, err := ecc.Lookup(env)
+		if err != nil {
+			return nil, err // a typo in the environment should fail loudly
+		}
+		if cod.CarriesMAC() == wantMAC {
+			return cod, nil
+		}
+	}
+	return ecc.Lookup(ecc.DefaultFor(wantMAC))
+}
+
+// CodecName returns the resolved ECC codec name for the configuration, or
+// "" when encryption is disabled (no check lane exists). It is what
+// persisted image headers record and campaign reports print.
+func (c Config) CodecName() string {
+	if c.DisableEncryption {
+		return ""
+	}
+	cod, err := c.resolveCodec()
+	if err != nil {
+		return c.ECCCodec // unresolvable; Validate reports the real error
+	}
+	return cod.Name()
 }
 
 // DataBlocks returns the number of protected 64-byte blocks.

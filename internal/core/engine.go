@@ -7,7 +7,6 @@ import (
 	"authmem/internal/ctr"
 	"authmem/internal/ecc"
 	"authmem/internal/keystream"
-	"authmem/internal/macecc"
 	"authmem/internal/tree"
 )
 
@@ -41,7 +40,17 @@ type Engine struct {
 	be  crypto.Backend
 	ks  crypto.Stream
 	key crypto.MAC
-	ver *macecc.Verifier
+
+	// codec is the resolved check-lane codec (cfg.ECCCodec). Exactly one
+	// of mcod/bcod is non-nil: mcod when the codec carries the MAC in the
+	// 8-byte lane (MACInECC), bcod when the lane holds an inline tag and
+	// the codec protects ciphertext only (MACInline). ver is mcod's
+	// engine-owned verifier; parallel sweeps build per-worker verifiers
+	// from mcod (see reencrypt.go).
+	codec ecc.Codec
+	mcod  ecc.MACCodec
+	bcod  ecc.BlockCodec
+	ver   ecc.LaneVerifier
 
 	// store holds ciphertext plus the per-block metadata lane (ECC-lane
 	// image under MACInECC, MAC tag under MACInline) and SEC-DED bytes;
@@ -189,7 +198,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, recovery: DefaultRecoveryPolicy()}
-	e.store = newBlockStore(cfg.DataBlocks(), cfg.Placement == MACInline && !cfg.DisableEncryption)
+	checkBytes := 0
+	if !cfg.DisableEncryption {
+		cod, err := cfg.resolveCodec() // Validate already vetted it
+		if err != nil {
+			return nil, err
+		}
+		e.codec = cod
+		switch c := cod.(type) {
+		case ecc.MACCodec:
+			e.mcod = c
+		case ecc.BlockCodec:
+			e.bcod = c
+			checkBytes = c.CheckBytes()
+		default:
+			return nil, fmt.Errorf("core: codec %q is neither a block nor a MAC codec", cod.Name())
+		}
+	}
+	e.store = newBlockStore(cfg.DataBlocks(), checkBytes)
 	if cfg.DisableEncryption {
 		return e, nil
 	}
@@ -222,8 +248,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := e.ks.EnablePadCache(padCacheEntries); err != nil {
 		return nil, err
 	}
-	if cfg.Placement == MACInECC {
-		e.ver, err = macecc.NewVerifier(e.key, cfg.CorrectBits)
+	if e.mcod != nil {
+		e.ver, err = e.mcod.NewVerifier(e.key, cfg.CorrectBits)
 		if err != nil {
 			return nil, err
 		}
@@ -366,6 +392,26 @@ func (e *Engine) CryptoBackend() string {
 	return e.be.Name()
 }
 
+// ECCCodec returns the name of the resolved check-lane codec, or "" for an
+// encryption-disabled engine.
+func (e *Engine) ECCCodec() string {
+	if e.codec == nil {
+		return ""
+	}
+	return e.codec.Name()
+}
+
+// InlineCheckBits returns the number of stored check bits per block under
+// the inline placement (the block codec's CheckBytes * 8), or 0 when the
+// MAC-carrying lane is the only check storage. Fault campaigns use it to
+// size the attackable ECC bit space.
+func (e *Engine) InlineCheckBits() int {
+	if e.bcod == nil {
+		return 0
+	}
+	return e.bcod.CheckBytes() * 8
+}
+
 // PadCacheStats reports the keystream pad cache's hit/miss counts.
 func (e *Engine) PadCacheStats() keystream.CacheStats {
 	if e.ks == nil {
@@ -453,15 +499,13 @@ func (e *Engine) sealBlock(blk uint64, ct []byte, counter uint64) error {
 // install half of the batched seal paths, whose tags come from one
 // TagBatch call over a whole span instead of per-block Tag calls.
 func (e *Engine) sealBlockTagged(blk uint64, ct []byte, tag uint64) error {
-	if e.cfg.Placement == MACInECC {
-		e.store.SetMeta(blk, uint64(macecc.PackMeta(tag, ct)))
+	if e.mcod != nil {
+		e.store.SetMeta(blk, e.mcod.PackLane(tag, ct))
 	} else {
 		e.store.SetMeta(blk, tag)
-		check, err := ecc.EncodeBlock(ct)
-		if err != nil {
+		if err := e.bcod.EncodeInto(e.store.Check(blk), ct); err != nil {
 			return err
 		}
-		copy(e.store.Check(blk), check[:])
 	}
 	if e.cfg.DataTree {
 		if err := e.tr.UpdateLeafFast(blk, ct); err != nil {
@@ -584,36 +628,33 @@ func (e *Engine) verifyStored(blk uint64, ct []byte, counter uint64, st *EngineS
 // verifyStoredWith is verifyStored against an explicit MAC/verifier pair:
 // parallel sweep workers pass their own single-owner instances instead of
 // the engine's (see reencrypt.go).
-func (e *Engine) verifyStoredWith(key crypto.MAC, ver *macecc.Verifier, blk uint64, ct []byte, counter uint64, st *EngineStats) bool {
-	switch e.cfg.Placement {
-	case MACInECC:
-		meta := macecc.Meta(e.store.Meta(blk))
-		out, err := ver.VerifyAndCorrect(ct, &meta, blk*BlockBytes, counter)
+func (e *Engine) verifyStoredWith(key crypto.MAC, ver ecc.LaneVerifier, blk uint64, ct []byte, counter uint64, st *EngineStats) bool {
+	if e.mcod != nil {
+		lane, out, err := ver.VerifyAndCorrect(ct, e.store.Meta(blk), blk*BlockBytes, counter)
 		if err != nil {
 			panic(err) // sizes are fixed; cannot fail
 		}
-		if out.Status != macecc.OK {
+		if !out.OK {
 			return false
 		}
 		st.CorrectedDataBits += uint64(out.CorrectedDataBits)
 		st.CorrectedMACBits += uint64(out.CorrectedMACBits)
-		e.store.SetMeta(blk, uint64(meta))
+		e.store.SetMeta(blk, lane)
 		return true
-	default:
-		outcome, err := ecc.DecodeBlock(ct, (*[8]uint8)(e.store.Check(blk)))
-		if err != nil {
-			panic(err)
-		}
-		if !outcome.Clean() {
-			return false
-		}
-		st.SECDEDCorrected += uint64(outcome.CorrectedBits)
-		ok, err := key.Verify(ct, blk*BlockBytes, counter, e.store.Meta(blk))
-		if err != nil {
-			panic(err)
-		}
-		return ok
 	}
+	outcome, err := e.bcod.DecodeAndCorrect(ct, e.store.Check(blk))
+	if err != nil {
+		panic(err)
+	}
+	if !outcome.Clean() {
+		return false
+	}
+	st.SECDEDCorrected += uint64(outcome.CorrectedBits)
+	ok, err := key.Verify(ct, blk*BlockBytes, counter, e.store.Meta(blk))
+	if err != nil {
+		panic(err)
+	}
+	return ok
 }
 
 // Read verifies, decrypts, and returns one 64-byte block.
@@ -701,15 +742,13 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 		return info, nil
 	}
 
-	switch e.cfg.Placement {
-	case MACInECC:
-		meta := macecc.Meta(e.store.Meta(blk))
-		out, err := e.ver.VerifyAndCorrect(ct, &meta, addr, counter)
+	if e.mcod != nil {
+		lane, out, err := e.ver.VerifyAndCorrect(ct, e.store.Meta(blk), addr, counter)
 		if err != nil {
 			return info, err
 		}
 		info.HardwareChecks = out.HardwareChecks
-		if out.Status != macecc.OK {
+		if !out.OK {
 			e.stats.IntegrityFailures.Add(1)
 			return info, &IntegrityError{Addr: addr, Reason: "MAC verification failed (tamper or uncorrectable fault)", Stage: StageData}
 		}
@@ -717,16 +756,16 @@ func (e *Engine) readVerified(blk, counter uint64, dst []byte) (ReadInfo, error)
 		info.CorrectedMACBits = out.CorrectedMACBits
 		e.stats.CorrectedDataBits.Add(uint64(out.CorrectedDataBits))
 		e.stats.CorrectedMACBits.Add(uint64(out.CorrectedMACBits))
-		e.store.SetMeta(blk, uint64(meta)) // corrected bits written back
+		e.store.SetMeta(blk, lane) // corrected bits written back
 
-	default: // MACInline baseline: SEC-DED first, then the MAC.
-		outcome, err := ecc.DecodeBlock(ct, (*[8]uint8)(e.store.Check(blk)))
+	} else { // MACInline baseline: the block codec first, then the MAC.
+		outcome, err := e.bcod.DecodeAndCorrect(ct, e.store.Check(blk))
 		if err != nil {
 			return info, err
 		}
 		if !outcome.Clean() {
 			e.stats.IntegrityFailures.Add(1)
-			return info, &IntegrityError{Addr: addr, Reason: "uncorrectable SEC-DED memory error", Stage: StageData}
+			return info, &IntegrityError{Addr: addr, Reason: "uncorrectable " + e.bcod.Name() + " memory error", Stage: StageData}
 		}
 		info.CorrectedDataBits = outcome.CorrectedBits
 		e.stats.SECDEDCorrected.Add(uint64(outcome.CorrectedBits))

@@ -189,7 +189,12 @@ func TestTamperCiphertextDetectedInlineMode(t *testing.T) {
 }
 
 func TestSingleFaultCorrectedInlineMode(t *testing.T) {
-	e := newEngine(t, smallCfg(ctr.Delta, MACInline))
+	// This test is specifically about SEC-DED's single-bit correction, so
+	// pin the codec against an AUTHMEM_ECC_CODEC matrix run selecting the
+	// detection-only residue code.
+	cfg := smallCfg(ctr.Delta, MACInline)
+	cfg.ECCCodec = "secded"
+	e := newEngine(t, cfg)
 	want := block(3)
 	if err := e.Write(0x100, want); err != nil {
 		t.Fatal(err)

@@ -18,11 +18,17 @@ type Overhead struct {
 	TreeBytes uint64
 	// MACBytes is dedicated MAC storage (zero under MAC-in-ECC).
 	MACBytes uint64
-	// ECCBytes is the ECC DIMM's 12.5% provisioning. It is reported for
-	// context but not charged to the encryption scheme: under MACInline
-	// it holds ordinary SEC-DED codes, under MACInECC it holds the
-	// MAC+Hamming layout. Either way the DIMM already paid for it.
+	// ECCBytes is the selected codec's check-bit provisioning: CheckBytes
+	// per 64-byte block (12.5% for the 8-byte SEC-DED and MAC-in-ECC
+	// lanes, 6.25% for the 4-byte residue code). It is reported for
+	// context but not charged to the encryption scheme: a standard ECC
+	// DIMM provisions it whether or not encryption is on. A narrower
+	// codec (residue) quantifies how much of that provisioning the design
+	// point actually needs.
 	ECCBytes uint64
+	// Codec is the resolved ECC codec name ("" with encryption disabled,
+	// where the default DIMM provisioning is still reported).
+	Codec string
 	// TreeLevels is the off-chip read depth (node levels + the counter
 	// block itself).
 	TreeLevels int
@@ -46,10 +52,18 @@ func ComputeOverhead(cfg Config) (Overhead, error) {
 		return Overhead{}, err
 	}
 	o := Overhead{RegionBytes: cfg.RegionBytes}
-	o.ECCBytes = cfg.RegionBytes / 8 // 8 ECC bytes per 64-byte block
 	if cfg.DisableEncryption {
+		// No codec is selected; report the standard DIMM's 8-byte
+		// SEC-DED provisioning for the Figure 1 baseline row.
+		o.ECCBytes = cfg.DataBlocks() * 8
 		return o, nil
 	}
+	cod, err := cfg.resolveCodec()
+	if err != nil {
+		return Overhead{}, err
+	}
+	o.Codec = cod.Name()
+	o.ECCBytes = cfg.DataBlocks() * uint64(cod.CheckBytes())
 	scheme, err := ctr.NewScheme(cfg.Scheme)
 	if err != nil {
 		return Overhead{}, err

@@ -26,6 +26,27 @@ import (
 // persistMagic identifies engine images (format version 1).
 var persistMagic = [8]byte{'A', 'M', 'E', 'M', 'P', 'S', 'T', '1'}
 
+// maxCodecNameLen bounds the codec-name field so a corrupted length prefix
+// cannot drive a huge allocation.
+const maxCodecNameLen = 64
+
+// CodecMismatchError reports a persisted image whose check bytes were
+// written under a different ECC codec than the resuming configuration
+// selects. The image is well-formed; it is the configuration that must
+// change (or the image be re-persisted) — decoding anyway would misread
+// every block's check storage.
+type CodecMismatchError struct {
+	// ImageCodec is the codec recorded in the image header.
+	ImageCodec string
+	// ConfigCodec is the codec the resuming configuration resolved.
+	ConfigCodec string
+}
+
+// Error implements error.
+func (e *CodecMismatchError) Error() string {
+	return fmt.Sprintf("core: image was persisted under ECC codec %q but configuration selects %q", e.ImageCodec, e.ConfigCodec)
+}
+
 // RootDigest pins the integrity tree's trusted top level.
 type RootDigest [sha256.Size]byte
 
@@ -56,6 +77,16 @@ func (e *Engine) Persist(w io.Writer) (RootDigest, error) {
 		if err := writeU64(bw, v); err != nil {
 			return digest, err
 		}
+	}
+	// Codec ID (length-prefixed name): the codec defines the stored check
+	// format, so resuming under a different codec must fail closed, not
+	// misdecode — see Resume.
+	codecName := e.codec.Name()
+	if err := writeU64(bw, uint64(len(codecName))); err != nil {
+		return digest, err
+	}
+	if _, err := bw.WriteString(codecName); err != nil {
+		return digest, err
 	}
 
 	// Data blocks. Arena iteration is ascending by block index, so the
@@ -161,6 +192,25 @@ func Resume(cfg Config, r io.Reader, expectRoot *RootDigest) (*Engine, error) {
 		if got != w {
 			return nil, fmt.Errorf("core: image config field %d is %d, config says %d", i, got, w)
 		}
+	}
+
+	// Codec ID: a mismatched codec means the check bytes on disk are in a
+	// different format (different stride, different guarantees). Resuming
+	// anyway would misdecode every block, so this fails closed with a
+	// typed error callers can distinguish from corruption.
+	nameLen, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > maxCodecNameLen {
+		return nil, fmt.Errorf("core: image codec name length %d implausible", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("core: truncated image: %w", err)
+	}
+	if got, want := string(nameBuf), e.codec.Name(); got != want {
+		return nil, &CodecMismatchError{ImageCodec: got, ConfigCodec: want}
 	}
 
 	nBlocks, err := readU64(br)

@@ -6,7 +6,7 @@ import (
 
 	"authmem/internal/crypto"
 	"authmem/internal/ctr"
-	"authmem/internal/macecc"
+	"authmem/internal/ecc"
 )
 
 // Parallel group re-encryption.
@@ -42,7 +42,7 @@ const reencParallelMinBlocks = 16
 type reencCrypto struct {
 	ks  crypto.Stream
 	key crypto.MAC
-	ver *macecc.Verifier // nil unless MACInECC
+	ver ecc.LaneVerifier // nil unless the codec carries the MAC
 }
 
 // EnableParallelReencrypt fans group re-encryption sweeps across up to
@@ -78,9 +78,9 @@ func (e *Engine) EnableParallelReencrypt(workers int) error {
 		if err != nil {
 			return err
 		}
-		var ver *macecc.Verifier
-		if e.cfg.Placement == MACInECC {
-			ver, err = macecc.NewVerifier(key, e.cfg.CorrectBits)
+		var ver ecc.LaneVerifier
+		if e.mcod != nil {
+			ver, err = e.mcod.NewVerifier(key, e.cfg.CorrectBits)
 			if err != nil {
 				return err
 			}

@@ -662,6 +662,18 @@ func (s *ShardedEngine) TamperInlineTag(addr uint64, bit int) error {
 	return sh.eng.TamperInlineTag(local, bit)
 }
 
+// TamperCheckBit flips a stored codec check-byte bit (global address,
+// MACInline only).
+func (s *ShardedEngine) TamperCheckBit(addr uint64, bit int) error {
+	if err := s.checkAddr(addr); err != nil {
+		return err
+	}
+	sh, local := s.route(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.TamperCheckBit(local, bit)
+}
+
 // TamperCounterForAddr flips one bit of the counter block covering the
 // global address addr.
 func (s *ShardedEngine) TamperCounterForAddr(addr uint64, bit int) error {

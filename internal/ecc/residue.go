@@ -1,0 +1,90 @@
+package ecc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Residue check code, per "Revisiting Residue Codes for Modern Memories"
+// (PAPERS.md): instead of per-word Hamming codes, store the residue of the
+// data modulo a low-cost check modulus. We use the classic ones'-complement
+// modulus 2^32-1 over the block's sixteen little-endian 32-bit words:
+// summing with end-around carry is a handful of adds per block, and the
+// check word is 4 bytes — half the storage of SEC-DED(72,64) (6.25% of the
+// block vs 12.5%), which is the design point's appeal.
+//
+// Guarantees (exercised by residue_test.go and Figure 3's fault classes):
+//
+//   - Any single flipped bit — data or check — is always detected: a flip
+//     changes the residue by ±2^k mod 2^32-1, which is never zero, and two
+//     distinct powers of two cannot differ by the modulus within a word.
+//   - Detection only: the residue localizes nothing, so nothing is ever
+//     corrected. A mismatch reports one detected (uncorrectable) word.
+//   - Known blind spots, inherent to the modulus: a 32-bit word changing
+//     between 0x00000000 and 0xFFFFFFFF (both congruent to 0), and
+//     opposite-polarity flips in the same bit column of two words (the
+//     +2^k and -2^k cancel). Multi-bit spread faults therefore alias with
+//     small probability — the honest Miscorrected rows fault.InjectResidue
+//     reports. In the engine these escapes are still caught end-to-end by
+//     the MAC, exactly as SEC-DED's own triple-bit miscorrections are.
+
+// ResidueCheckBytes is the residue codec's stored check footprint.
+const ResidueCheckBytes = 4
+
+// residueModulus is 2^32 - 1, the ones'-complement check modulus.
+const residueModulus = 0xFFFFFFFF
+
+// residueSum folds the block's sixteen 32-bit words modulo 2^32-1.
+func residueSum(data []byte) uint32 {
+	var s uint64
+	for i := 0; i < BlockSize; i += 8 {
+		w := binary.LittleEndian.Uint64(data[i:])
+		s += w & residueModulus
+		s += w >> 32
+	}
+	// End-around-carry fold: the sum of 16 words is < 2^36, so the fold
+	// terminates in at most two passes.
+	for s>>32 != 0 {
+		s = s&residueModulus + s>>32
+	}
+	// Canonicalize: 0 and 2^32-1 are the same residue class.
+	if s == residueModulus {
+		s = 0
+	}
+	return uint32(s)
+}
+
+// residueCodec is the "residue" BlockCodec.
+type residueCodec struct{}
+
+func (residueCodec) Name() string     { return "residue" }
+func (residueCodec) CheckBytes() int  { return ResidueCheckBytes }
+func (residueCodec) CarriesMAC() bool { return false }
+
+func (residueCodec) EncodeInto(check, data []byte) error {
+	if len(check) != ResidueCheckBytes {
+		return fmt.Errorf("ecc: residue check buffer must be %d bytes, got %d", ResidueCheckBytes, len(check))
+	}
+	if len(data) != BlockSize {
+		return ErrBlockSize
+	}
+	binary.LittleEndian.PutUint32(check, residueSum(data))
+	return nil
+}
+
+func (residueCodec) DecodeAndCorrect(data, check []byte) (BlockOutcome, error) {
+	if len(check) != ResidueCheckBytes {
+		return BlockOutcome{}, fmt.Errorf("ecc: residue check buffer must be %d bytes, got %d", ResidueCheckBytes, len(check))
+	}
+	if len(data) != BlockSize {
+		return BlockOutcome{}, ErrBlockSize
+	}
+	stored := binary.LittleEndian.Uint32(check)
+	if stored == residueModulus {
+		stored = 0 // accept the non-canonical encoding of residue zero
+	}
+	if residueSum(data) != stored {
+		return BlockOutcome{DetectedWords: 1, WorstResult: Uncorrectable}, nil
+	}
+	return BlockOutcome{}, nil
+}

@@ -1,0 +1,55 @@
+package macecc
+
+import "authmem/internal/ecc"
+
+// The "macsecded" codec re-homes this package's Verifier behind the
+// pluggable ecc.Codec registry: the paper's §3 layout — 56-bit MAC + 7
+// SEC-DED(63,56) bits + 1 scrub parity bit packed into the 8-byte ECC
+// lane — becomes one MAC-carrying codec among peers, selected by name
+// instead of hard-wired into the engine's placement switch.
+
+// codec is the ecc.MACCodec adapter over PackMeta/Verifier.
+type codec struct{}
+
+func (codec) Name() string     { return "macsecded" }
+func (codec) CheckBytes() int  { return 8 }
+func (codec) CarriesMAC() bool { return true }
+
+func (codec) PackLane(tag uint64, ciphertext []byte) uint64 {
+	return uint64(PackMeta(tag, ciphertext))
+}
+
+func (codec) NewVerifier(key ecc.MACKey, correctBits int) (ecc.LaneVerifier, error) {
+	v, err := NewVerifier(key, correctBits)
+	if err != nil {
+		return nil, err
+	}
+	return laneVerifier{v}, nil
+}
+
+// laneVerifier adapts *Verifier to ecc.LaneVerifier: the lane travels as a
+// plain uint64 across the interface and is a Meta inside.
+type laneVerifier struct{ v *Verifier }
+
+func (l laneVerifier) VerifyAndCorrect(ciphertext []byte, lane, addr, counter uint64) (uint64, ecc.LaneOutcome, error) {
+	m := Meta(lane)
+	out, err := l.v.VerifyAndCorrect(ciphertext, &m, addr, counter)
+	return uint64(m), ecc.LaneOutcome{
+		OK:                out.Status == OK,
+		CorrectedDataBits: out.CorrectedDataBits,
+		CorrectedMACBits:  out.CorrectedMACBits,
+		HardwareChecks:    out.HardwareChecks,
+	}, err
+}
+
+func (l laneVerifier) ScrubData(ciphertext []byte, lane uint64) bool {
+	return Scrub(ciphertext, Meta(lane))
+}
+
+func (l laneVerifier) ScrubLane(lane uint64) bool {
+	return ScrubMeta(Meta(lane))
+}
+
+func init() {
+	ecc.Register(codec{})
+}

@@ -146,6 +146,12 @@ func (s *ShardedMemory) FlipMACBit(addr uint64, bit int) error {
 	return s.eng.TamperInlineTag(addr, bit)
 }
 
+// FlipCheckBit flips one bit of a block's codec check bytes (InlineMAC
+// placement; bit range is the codec's CheckBytes*8).
+func (s *ShardedMemory) FlipCheckBit(addr uint64, bit int) error {
+	return s.eng.TamperCheckBit(addr, bit)
+}
+
 // FlipCounterBit flips one bit of the counter block covering addr.
 func (s *ShardedMemory) FlipCounterBit(addr uint64, bit int) error {
 	return s.eng.TamperCounterForAddr(addr, bit)
