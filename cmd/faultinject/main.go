@@ -214,18 +214,43 @@ func mainCampaign(ecfg core.Config, ops int, seed int64, app string, rate float6
 	fmt.Printf("\nrecovery: %d metadata repairs, %d/%d retry recoveries, %d quarantines, %d scrub passes\n",
 		rep.MetadataRepairs, rep.RetryRecoveries, rep.RetriedReads, rep.Quarantined, rep.ScrubPasses)
 
+	// Durability plane: persist-crash + WAL-corruption strikes against the
+	// incremental-persistence artifacts, flat and sharded.
+	pcfg := campaign.DefaultPersistCrash(ecfg, ops/50+campaignMinStrikes, seed)
+	pcfg.BurstMax = burst
+	fmt.Printf("\nPersist-crash phase: %d epochs, %d strikes per arrangement (flat + sharded)\n",
+		pcfg.Epochs, pcfg.Trials)
+	pc, err := campaign.RunPersistCrash(pcfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.PersistCrash = pc
+	pt := stats.NewTable("strike", "trials")
+	for kind, n := range pc.Strikes {
+		pt.AddRow(kind, n)
+	}
+	for _, o := range campaign.Outcomes() {
+		pt.AddRow("outcome:"+o.String(), pc.Outcomes[o.String()])
+	}
+	fmt.Print(pt)
+
 	if err := stats.WriteJSON(out, rep); err != nil {
 		fatalf("writing report: %v", err)
 	}
 	fmt.Printf("wrote %s\n", out)
 
 	if !rep.Passed() {
-		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d silent corruption escape(s) — replay with -seed %d\n",
-			rep.SilentEscapes, seed)
+		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d live + %d durability silent escape(s) — replay with -seed %d\n",
+			rep.SilentEscapes, pc.SilentEscapes, seed)
 		os.Exit(1)
 	}
-	fmt.Printf("PASS: %d operations, %d fault events, 0 silent corruption escapes\n", rep.Ops, rep.FaultEvents)
+	fmt.Printf("PASS: %d operations, %d fault events, %d persist-crash strikes, 0 silent corruption escapes\n",
+		rep.Ops, rep.FaultEvents, pc.FlatTrials+pc.ShardedTrials)
 }
+
+// campaignMinStrikes floors the persist-crash strike budget so even a
+// -trials smoke run exercises every strike kind in both arrangements.
+const campaignMinStrikes = 20
 
 func mainConcurrent(ecfg core.Config, ops int, seed int64, rate float64, burst, shards, workers int, out string) {
 	cfg := campaign.DefaultConcurrent(ecfg, ops, seed)

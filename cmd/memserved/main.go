@@ -52,6 +52,9 @@ func main() {
 		drain     = flag.Duration("drain-grace", 200*time.Millisecond, "drain window for pipelined requests at shutdown")
 		sweep     = flag.Bool("sweep-status", false, "report counter-overflow sweeps as OVERFLOW_SWEPT")
 		statsEach = flag.Duration("stats-every", 0, "log a stats snapshot at this interval (0 disables)")
+		walDir    = flag.String("wal", "", "durable mode: directory for base snapshot + sealed delta logs (empty disables)")
+		ckptEvery = flag.Duration("checkpoint-interval", 5*time.Second, "durable mode: background delta-epoch interval")
+		foldBytes = flag.Int64("fold-bytes", 0, "durable mode: fold logs into a new base beyond this many bytes (0 = base/4)")
 
 		connect    = flag.String("connect", "", "smoke-client mode: dial this address instead of serving")
 		smokeConns = flag.Int("smoke-conns", 2, "smoke client: pooled connections")
@@ -72,9 +75,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	backend, desc, err := buildBackend(*size, *shards, *scheme, *eccCodec, *crypto, key)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		backend server.Backend
+		desc    string
+		store   *durableStore
+	)
+	if *walDir != "" {
+		// Durable mode always runs the sharded backend (a 1-shard region
+		// is valid) so the checkpoint machinery has one code path.
+		cfg, eccDesc, cryptoDesc, err := buildMemConfig(*size, *scheme, *eccCodec, *crypto, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *shards < 1 {
+			log.Fatalf("-shards: %d", *shards)
+		}
+		store, err = openDurable(cfg, *shards, durableOptions{
+			dir:       *walDir,
+			interval:  *ckptEvery,
+			foldBytes: *foldBytes,
+			logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = store.mem
+		desc = fmt.Sprintf("%dMB %s region across %d shards (%s ecc, %s), durable in %s every %v",
+			*size>>20, *scheme, *shards, eccDesc, cryptoDesc, *walDir, *ckptEvery)
+	} else {
+		backend, desc, err = buildBackend(*size, *shards, *scheme, *eccCodec, *crypto, key)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	cfg := server.Config{
@@ -109,6 +141,11 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+	var stopCkpt chan struct{}
+	if store != nil {
+		stopCkpt = make(chan struct{})
+		go store.run(stopCkpt)
+	}
 	log.Printf("serving %s on %s (%d-byte blocks, protocol v%d)", desc, *addr, wire.BlockBytes, wire.Version)
 
 	select {
@@ -121,6 +158,15 @@ func main() {
 		}
 		if err := <-serveErr; err != nil && err != server.ErrServerClosed {
 			log.Fatalf("serve: %v", err)
+		}
+		if store != nil {
+			// Traffic is quiesced; seal what the drain left dirty so the
+			// manifest pins the exact final state.
+			close(stopCkpt)
+			if err := store.close(); err != nil {
+				log.Fatalf("final checkpoint: %v", err)
+			}
+			log.Printf("final epoch sealed; manifest pinned")
 		}
 		log.Printf("drained to quiescent point; bye")
 	case err := <-serveErr:
@@ -146,7 +192,9 @@ func resolveKey(keyHex string, devKey bool) ([]byte, error) {
 	}
 }
 
-func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key []byte) (server.Backend, string, error) {
+// buildMemConfig resolves the flag surface into an authmem.Config plus the
+// human-readable codec/crypto labels used in the serve banner.
+func buildMemConfig(size uint64, scheme, eccCodec, crypto string, key []byte) (authmem.Config, string, string, error) {
 	cfg := authmem.DefaultConfig(size)
 	cfg.Key = key
 	cfg.CryptoBackend = crypto
@@ -158,7 +206,7 @@ func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key 
 	case "mono":
 		cfg.Scheme = authmem.Monolithic
 	default:
-		return nil, "", fmt.Errorf("-scheme: unknown scheme %q (want delta, split, or mono)", scheme)
+		return cfg, "", "", fmt.Errorf("-scheme: unknown scheme %q (want delta, split, or mono)", scheme)
 	}
 	eccDesc := "macsecded"
 	if eccCodec != "" {
@@ -167,7 +215,7 @@ func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key 
 		// MAC inside the ECC lane.
 		cod, err := ecc.Lookup(eccCodec)
 		if err != nil {
-			return nil, "", fmt.Errorf("-ecc: %w", err)
+			return cfg, "", "", fmt.Errorf("-ecc: %w", err)
 		}
 		cfg.ECCCodec = eccCodec
 		if cod.CarriesMAC() {
@@ -181,6 +229,14 @@ func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key 
 		crypto = "default crypto"
 	} else {
 		crypto += " crypto"
+	}
+	return cfg, eccDesc, crypto, nil
+}
+
+func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key []byte) (server.Backend, string, error) {
+	cfg, eccDesc, crypto, err := buildMemConfig(size, scheme, eccCodec, crypto, key)
+	if err != nil {
+		return nil, "", err
 	}
 	if shards > 1 {
 		m, err := authmem.NewSharded(cfg, shards)

@@ -48,6 +48,8 @@ func main() {
 	cryptoBenchOut := flag.String("crypto-out", "BENCH_crypto.json", "output path for -crypto")
 	eccBench := flag.Bool("ecc", false, "run the ECC-codec comparison (secded vs residue vs macsecded check-bit kernels and engine seal/read) and write the tracked JSON baseline")
 	eccBenchOut := flag.String("ecc-out", "BENCH_ecc.json", "output path for -ecc")
+	persist := flag.Bool("persist", false, "run the incremental-persistence benchmark (AppendDelta vs full Persist across dirty fractions, plus WAL replay) and write the tracked JSON baseline")
+	persistOut := flag.String("persist-out", "BENCH_persist.json", "output path for -persist")
 	quick := flag.Bool("quick", false, "shrink the -writepath/-server workloads for a fast smoke run")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
@@ -61,13 +63,13 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *eccBench || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *eccBench || *persist || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench, *eccBench = true, true, true, true, true, true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench, *eccBench, *persist = true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -112,6 +114,9 @@ func main() {
 	}
 	if *eccBench {
 		runECCBench(*eccBenchOut, *quick)
+	}
+	if *persist {
+		runPersistBench(*persistOut, *quick)
 	}
 	if *fig1 {
 		runFig1()

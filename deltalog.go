@@ -1,0 +1,230 @@
+package authmem
+
+import (
+	"io"
+
+	"authmem/internal/core"
+	"authmem/internal/wal"
+)
+
+// Incremental persistence: dirty-delta checkpoints and a sealed group WAL.
+//
+// Persist serializes the whole region even when a handful of 4KB groups
+// changed. The incremental path keeps a group-granular dirty set (fed by the
+// same commit points the write pipeline uses) and appends only the changed
+// groups to an append-only delta log: a base image plus a log replays to the
+// exact pre-crash state, paying O(dirty) per checkpoint instead of O(region).
+//
+// Lifecycle:
+//
+//	m.EnableDeltaTracking()
+//	root, _ := m.Persist(baseFile)      // full base snapshot
+//	dl, _ := m.NewDeltaLog(logFile)     // log seeded with the base root
+//	... traffic ...
+//	st, _ := m.AppendDelta(dl)          // sealed epoch: dirty groups + root
+//	... crash ...
+//	m, rep, err := ResumeIncremental(cfg, baseFile, logFile, &st.Root)
+//
+// Every record is length-prefixed, CRC-framed, and sealed with a chained
+// HMAC keyed from the device secret; each epoch closes with a commit record
+// carrying the root digest the rebuilt tree must hash to. Torn tails recover
+// to the last committed epoch with a typed verdict; tampered or spliced logs
+// are refused. Pin the newest root (or use the RecoveryReport.EpochRoots
+// list against a sealed manifest, as cmd/memserved does) to also detect a
+// maliciously shortened-but-valid log.
+
+// DeltaLog is an open append-only delta log bound to the Memory that created
+// it: records are sealed under a key derived from the device secret and
+// chained from the base snapshot's root digest.
+type DeltaLog struct {
+	w *wal.Writer
+}
+
+// Records returns the number of sealed records appended so far.
+func (l *DeltaLog) Records() uint64 { return l.w.Records() }
+
+// Offset returns the log length in bytes (header included).
+func (l *DeltaLog) Offset() int64 { return l.w.Offset() }
+
+// DeltaStats reports what one AppendDelta epoch wrote: group records, log
+// growth in bytes, the epoch number, and the sealed root digest — the value
+// to pin in trusted storage.
+type DeltaStats = core.DeltaStats
+
+// RecoveryStatus classifies how an incremental resume ended.
+type RecoveryStatus = core.RecoveryStatus
+
+const (
+	// RecoveryClean: the whole log replayed and every epoch verified.
+	RecoveryClean = core.RecoveryClean
+	// RecoveryTruncated: a torn or damaged tail was cut at the last
+	// committed epoch — the expected outcome of a crash.
+	RecoveryTruncated = core.RecoveryTruncated
+	// RecoveryRollback: authenticated-state mismatch; the resume is
+	// refused with a *RecoveryError.
+	RecoveryRollback = core.RecoveryRollback
+)
+
+// RecoveryReport is the typed verdict of an incremental resume.
+type RecoveryReport = core.RecoveryReport
+
+// RecoveryError wraps a rollback-detected RecoveryReport; it round-trips
+// through errors.As from every resume path, sharded ones included.
+type RecoveryError = core.RecoveryError
+
+// CodecMismatchError reports a persisted image whose check bytes were
+// written by a different ECC codec than the resuming Config selects. It
+// round-trips through errors.As from every resume path.
+type CodecMismatchError = core.CodecMismatchError
+
+// EnableDeltaTracking turns on the dirty-group set behind AppendDelta. Call
+// before traffic (ResumeIncremental enables it automatically); writes landed
+// while tracking is off are not observed by the next delta epoch.
+func (m *Memory) EnableDeltaTracking() { m.eng.EnableDeltaTracking() }
+
+// DeltaTrackingEnabled reports whether the dirty-group set is active.
+func (m *Memory) DeltaTrackingEnabled() bool { return m.eng.DeltaTrackingEnabled() }
+
+// DirtyGroups returns the number of groups the next AppendDelta would
+// serialize.
+func (m *Memory) DirtyGroups() int { return m.eng.DirtyGroups() }
+
+// NewDeltaLog starts a fresh delta log on w, seeded with the memory's
+// current root digest. Persist the base image first; the log extends exactly
+// that state.
+func (m *Memory) NewDeltaLog(w io.Writer) (*DeltaLog, error) {
+	lw, err := m.eng.NewDeltaWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaLog{w: lw}, nil
+}
+
+// AppendDelta seals one checkpoint epoch onto the log: every dirty group's
+// records plus a commit record carrying the post-epoch root digest, clearing
+// the dirty set. Cost is O(dirty groups), not O(region). An epoch with no
+// dirty groups writes only its commit record.
+func (m *Memory) AppendDelta(l *DeltaLog) (DeltaStats, error) {
+	return m.eng.AppendDelta(l.w)
+}
+
+// ResumeIncremental rebuilds a Memory from a base image plus a delta log:
+// the base resumes through the verified Resume path, then the log replays
+// epoch by epoch to the newest record whose chained seal and sealed root
+// verify. The report is the typed verdict — clean, truncated at the crash
+// point (memory valid at the last committed epoch), or rollback-detected
+// (resume refused, err is a *RecoveryError).
+//
+// walR may be nil to resume the base alone. If expectRoot is non-nil the
+// recovered root must equal it, which also catches a shortened-but-valid log
+// prefix (truncation attack).
+func ResumeIncremental(cfg Config, base, walR io.Reader, expectRoot *RootDigest) (*Memory, *RecoveryReport, error) {
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, rep, err := core.ResumeIncremental(icfg, base, walR, expectRoot)
+	if err != nil {
+		return nil, rep, err
+	}
+	return &Memory{eng: eng}, rep, nil
+}
+
+// EnableDeltaTracking turns on the dirty-group set. See
+// Memory.EnableDeltaTracking.
+func (s *SyncMemory) EnableDeltaTracking() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem.EnableDeltaTracking()
+}
+
+// DirtyGroups returns the pending dirty-group count. See Memory.DirtyGroups.
+func (s *SyncMemory) DirtyGroups() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.DirtyGroups()
+}
+
+// NewDeltaLog starts a fresh delta log. See Memory.NewDeltaLog.
+func (s *SyncMemory) NewDeltaLog(w io.Writer) (*DeltaLog, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.NewDeltaLog(w)
+}
+
+// AppendDelta seals one checkpoint epoch onto the log, holding the memory
+// lock for the duration — an epoch is a consistent cut of the region. See
+// Memory.AppendDelta.
+func (s *SyncMemory) AppendDelta(l *DeltaLog) (DeltaStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.AppendDelta(l)
+}
+
+// EnableDeltaTracking turns on the dirty-group set on every shard.
+func (s *ShardedMemory) EnableDeltaTracking() { s.eng.EnableDeltaTracking() }
+
+// DirtyGroups sums the dirty groups pending across all shards.
+func (s *ShardedMemory) DirtyGroups() int { return s.eng.DirtyGroups() }
+
+// NewShardDeltaLog starts shard i's delta log on w, sealed under the shard's
+// derived key (records can never migrate between shards) and seeded with the
+// shard's subtree root. Persist the sharded base image first, then open each
+// shard's log.
+func (s *ShardedMemory) NewShardDeltaLog(i int, w io.Writer) (*DeltaLog, error) {
+	lw, err := s.eng.NewShardDeltaWriter(i, w)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaLog{w: lw}, nil
+}
+
+// AppendDeltaShard seals one checkpoint epoch of shard i's dirty groups onto
+// its log, locking only that shard. The combined attestation for a full
+// round of shard appends is RootDigest().
+func (s *ShardedMemory) AppendDeltaShard(i int, l *DeltaLog) (DeltaStats, error) {
+	return s.eng.AppendDeltaShard(i, l.w)
+}
+
+// BeginShardedImage writes the sharded-image container header for a
+// checkpoint assembled one CheckpointShard call at a time (a 1-shard memory
+// writes nothing — its single section is the image).
+func (s *ShardedMemory) BeginShardedImage(w io.Writer) error { return s.eng.BeginShardedImage(w) }
+
+// CheckpointShard persists shard i's image section to baseW and opens a
+// fresh delta log for it on logW, atomically under the shard's lock — other
+// shards keep serving while this shard folds. Call BeginShardedImage first,
+// then CheckpointShard for every shard in order. Returns the shard root the
+// new log is seeded with; pin it (cmd/memserved seals it into its manifest).
+func (s *ShardedMemory) CheckpointShard(i int, baseW, logW io.Writer) (RootDigest, *DeltaLog, error) {
+	root, lw, err := s.eng.CheckpointShard(i, baseW, logW)
+	if err != nil {
+		return RootDigest{}, nil, err
+	}
+	return root, &DeltaLog{w: lw}, nil
+}
+
+// ResumeShardedIncremental rebuilds a ShardedMemory from a base image plus
+// one delta log per shard (wals may be nil for base-only; entries may be nil
+// for shards without a log). Each shard resumes and replays independently —
+// reports holds one verdict per shard — then the combined root over the
+// recovered shards is checked against expectRoot when supplied. As with
+// ResumeSharded, a v1 image is accepted when shards is 1.
+func ResumeShardedIncremental(cfg Config, shards int, base io.Reader, wals []io.Reader, expectRoot *RootDigest) (*ShardedMemory, []*RecoveryReport, error) {
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, reports, err := core.ResumeShardedIncremental(icfg, shards, base, wals, expectRoot)
+	if err != nil {
+		return nil, reports, err
+	}
+	return &ShardedMemory{eng: eng}, reports, nil
+}
+
+// CombinedRecoveredRoot recomputes the combined attestation digest from the
+// per-shard recovery reports of a ResumeShardedIncremental that ran without
+// a pin — compare it against the trusted combined root yourself.
+func CombinedRecoveredRoot(reports []*RecoveryReport) RootDigest {
+	return core.CombinedRecoveredRoot(reports)
+}

@@ -231,6 +231,11 @@ type Report struct {
 	// SilentEscapes must be zero for the campaign to pass.
 	SilentEscapes uint64 `json:"silent_escapes"`
 
+	// PersistCrash is the durability-plane strike phase (base + delta-WAL
+	// damage under crash-recovery); nil when the phase did not run. Its
+	// silent escapes fail the campaign exactly like live-plane ones.
+	PersistCrash *PersistCrashReport `json:"persist_crash,omitempty"`
+
 	// Engine-side recovery counters accumulated across phases.
 	RetriedReads    uint64 `json:"retried_reads"`
 	RetryRecoveries uint64 `json:"retry_recoveries"`
@@ -240,8 +245,12 @@ type Report struct {
 	ScrubPasses     uint64 `json:"scrub_passes"`
 }
 
-// Passed reports whether the campaign met its safety bar.
-func (r *Report) Passed() bool { return r.SilentEscapes == 0 }
+// Passed reports whether the campaign met its safety bar: zero silent
+// escapes in the live planes and, when the persist-crash phase ran, zero in
+// the durability plane too.
+func (r *Report) Passed() bool {
+	return r.SilentEscapes == 0 && (r.PersistCrash == nil || r.PersistCrash.Passed())
+}
 
 // regionBytes sizes the test region: big enough for several hundred block
 // groups (so delta escalation and tree depth are exercised) while keeping a

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"testing"
+
+	"authmem/internal/core"
+	"authmem/internal/ctr"
+)
+
+func TestPersistCrashPhase(t *testing.T) {
+	for _, pt := range []struct {
+		scheme    ctr.Kind
+		placement core.MACPlacement
+		codec     string
+	}{
+		{ctr.Delta, core.MACInECC, ""},
+		{ctr.Delta, core.MACInline, "residue"},
+		{ctr.Monolithic, core.MACInECC, ""},
+	} {
+		ecfg := core.Default(pt.scheme, pt.placement)
+		ecfg.ECCCodec = pt.codec
+		t.Run(pt.scheme.String()+"/"+ecfg.CodecName(), func(t *testing.T) {
+			cfg := DefaultPersistCrash(ecfg, 20, 7)
+			cfg.Epochs = 3
+			cfg.WritesPerEpoch = 120
+			rep, err := RunPersistCrash(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Passed() {
+				t.Fatalf("%d silent escapes in the durability plane", rep.SilentEscapes)
+			}
+			if rep.FlatTrials != cfg.Trials || rep.ShardedTrials != cfg.Trials {
+				t.Fatalf("trial counts %d/%d, want %d each", rep.FlatTrials, rep.ShardedTrials, cfg.Trials)
+			}
+			// Every strike kind must have run, and strikes that damage
+			// sealed state must never all come back Clean.
+			for _, kind := range strikeKinds() {
+				if rep.Strikes[kind] == 0 {
+					t.Fatalf("strike kind %q never ran", kind)
+				}
+			}
+			damaged := rep.Outcomes[Recovered.String()] + rep.Outcomes[Halted.String()] + rep.Outcomes[Corrected.String()]
+			if damaged == 0 {
+				t.Fatal("no strike was ever observed as damage — the strikes are not landing")
+			}
+			if rep.FlatWALBytes <= 0 {
+				t.Fatal("flat WAL empty")
+			}
+		})
+	}
+}
+
+func TestPersistCrashValidate(t *testing.T) {
+	ecfg := core.Default(ctr.Delta, core.MACInECC)
+	cfg := DefaultPersistCrash(ecfg, 10, 1)
+	cfg.Epochs = 0
+	if _, err := RunPersistCrash(cfg); err == nil {
+		t.Fatal("Epochs=0 accepted")
+	}
+	cfg = DefaultPersistCrash(ecfg, 10, 1)
+	cfg.Shards = 3 // not a power of two
+	if _, err := RunPersistCrash(cfg); err == nil {
+		t.Fatal("Shards=3 accepted")
+	}
+}

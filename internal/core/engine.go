@@ -96,6 +96,12 @@ type Engine struct {
 	// ShardedEngine enables one per shard.
 	wp *writePipe
 
+	// delta is the optional dirty-group set behind incremental
+	// persistence (persistinc.go), nil unless EnableDeltaTracking was
+	// called. Marked at the metadata commit points, drained by
+	// AppendDelta.
+	delta *deltaTracker
+
 	// Parallel group re-encryption (reencrypt.go): reencWorkers > 1 fans
 	// the overflow sweep across a worker pool; reencCtx are the per-worker
 	// crypto contexts (stream, MAC, verifier — single-owner, so one set
@@ -533,6 +539,9 @@ func (e *Engine) commitMetadata(midx uint64) error {
 	copy(e.images.Store(midx), img[:])
 	if e.cc != nil {
 		e.cc.update(midx, img[:])
+	}
+	if e.delta != nil {
+		e.delta.mark(midx)
 	}
 	return e.tr.UpdateLeafFast(e.metaLeaf(midx), img[:])
 }

@@ -161,6 +161,9 @@ func (e *Engine) deferCommit(midx uint64) error {
 	if e.cc != nil {
 		e.cc.update(midx, img[:])
 	}
+	if e.delta != nil {
+		e.delta.mark(midx)
+	}
 	combined, full := e.wp.markDirty(midx)
 	if combined {
 		e.stats.WriteCombines.Add(1)
