@@ -128,6 +128,7 @@ type Client struct {
 	conns  []*poolConn
 	rr     atomic.Uint64
 	closed atomic.Bool
+	ctr    counters
 }
 
 // New dials the pool and returns a ready Client.
@@ -137,7 +138,7 @@ func New(opts Options) (*Client, error) {
 	}
 	c := &Client{opts: opts, conns: make([]*poolConn, opts.Conns)}
 	for i := range c.conns {
-		c.conns[i] = &poolConn{opts: &c.opts}
+		c.conns[i] = &poolConn{opts: &c.opts, ctr: &c.ctr}
 		if err := c.conns[i].connect(); err != nil {
 			c.Close()
 			return nil, err
@@ -173,25 +174,39 @@ func (c *Client) Write(addr uint64, src []byte) (Info, error) {
 // Flush brings the remote region to a quiescent point: all deferred Merkle
 // maintenance lands before it returns.
 func (c *Client) Flush() error {
-	_, _, err := c.do(wire.OpFlush, 0, 0, nil, nil)
+	_, _, err := c.do(wire.OpFlush, 0, 0, 0, nil, nil)
 	return err
 }
 
-// Stats fetches the server's statistics snapshot.
-func (c *Client) Stats() (wire.StatsSnapshot, error) {
+// ServerStats fetches the server's statistics snapshot. The client's own
+// transport counters are Stats.
+func (c *Client) ServerStats() (wire.StatsSnapshot, error) {
 	var snap wire.StatsSnapshot
-	_, body, err := c.do(wire.OpStats, 0, 0, nil, nil)
+	_, body, err := c.do(wire.OpStats, 0, 0, 0, nil, nil)
 	if err != nil {
 		return snap, err
 	}
 	return snap, json.Unmarshal(body, &snap)
 }
 
+// Hello fetches the server's identity: its stable node ID, the epoch of the
+// current process incarnation, and the region geometry. A cluster layer uses
+// the epoch to detect node restarts — an epoch change means everything the
+// node held is gone.
+func (c *Client) Hello() (wire.NodeInfo, error) {
+	var ni wire.NodeInfo
+	_, body, err := c.do(wire.OpHello, 0, 0, 0, nil, nil)
+	if err != nil {
+		return ni, err
+	}
+	return ni, json.Unmarshal(body, &ni)
+}
+
 // RootDigest fetches the trusted root digest over the remote region's
 // current state.
 func (c *Client) RootDigest() (authmem.RootDigest, error) {
 	var d authmem.RootDigest
-	_, body, err := c.do(wire.OpRootDigest, 0, 0, nil, nil)
+	_, body, err := c.do(wire.OpRootDigest, 0, 0, 0, nil, nil)
 	if err != nil {
 		return d, err
 	}
@@ -200,6 +215,64 @@ func (c *Client) RootDigest() (authmem.RootDigest, error) {
 	}
 	copy(d[:], body)
 	return d, nil
+}
+
+// ReadPinned is Read plus an attestation: the server appends its trusted
+// root digest, computed at a quiescent point after serving the read, to the
+// response. Unlike a separate RootDigest call, the pin is atomic with the
+// read on the server's execution path. The span must fit one protocol
+// request (wire.MaxPayloadBytes); larger spans would split and each chunk
+// would pin a different root.
+func (c *Client) ReadPinned(addr uint64, dst []byte) (Info, authmem.RootDigest, error) {
+	return c.pinned(wire.OpRead, addr, nil, dst)
+}
+
+// WritePinned is Write plus an attestation of the post-write root. Same
+// span bound as ReadPinned.
+func (c *Client) WritePinned(addr uint64, src []byte) (Info, authmem.RootDigest, error) {
+	return c.pinned(wire.OpWrite, addr, src, nil)
+}
+
+// FlushPinned flushes and returns the root digest of the quiescent state in
+// one round trip.
+func (c *Client) FlushPinned() (authmem.RootDigest, error) {
+	var d authmem.RootDigest
+	h, body, err := c.do(wire.OpFlush, wire.FlagRootPin, 0, 0, nil, nil)
+	if err != nil {
+		return d, err
+	}
+	if h.Flags&wire.FlagRootPin == 0 || len(body) != len(d) {
+		return d, errors.New("client: server did not pin the flush response")
+	}
+	copy(d[:], body)
+	return d, nil
+}
+
+// pinned performs one root-pinned data request.
+func (c *Client) pinned(op wire.Op, addr uint64, src, dst []byte) (Info, authmem.RootDigest, error) {
+	var d authmem.RootDigest
+	data := src
+	if op == wire.OpRead {
+		data = dst
+	}
+	if len(data) == 0 || len(data)%wire.BlockBytes != 0 {
+		return Info{}, d, fmt.Errorf("client: span of %d bytes is not a positive multiple of %d", len(data), wire.BlockBytes)
+	}
+	if len(data) > wire.MaxPayloadBytes {
+		return Info{}, d, fmt.Errorf("client: pinned span of %d bytes exceeds the %d-byte request maximum", len(data), wire.MaxPayloadBytes)
+	}
+	if addr%wire.BlockBytes != 0 {
+		return Info{}, d, fmt.Errorf("client: address %#x not %d-byte aligned", addr, wire.BlockBytes)
+	}
+	h, body, err := c.do(op, wire.FlagRootPin, addr, uint32(len(data)/wire.BlockBytes), src, dst)
+	if err != nil {
+		return Info{}, d, err
+	}
+	if h.Flags&wire.FlagRootPin == 0 || len(body) != len(d) {
+		return Info{}, d, fmt.Errorf("client: server did not pin the %v response", op)
+	}
+	copy(d[:], body)
+	return Info{Status: h.Status, Flags: h.Flags &^ wire.FlagRootPin}, d, nil
 }
 
 // spanned validates a data span, splits it into protocol-sized chunks, and
@@ -260,7 +333,7 @@ func (c *Client) chunk(op wire.Op, addr uint64, src, dst []byte) (Info, error) {
 	if op == wire.OpRead {
 		count = uint32(len(dst) / wire.BlockBytes)
 	}
-	h, _, err := c.do(op, addr, count, src, dst)
+	h, _, err := c.do(op, 0, addr, count, src, dst)
 	if err != nil {
 		return Info{}, err
 	}
@@ -268,21 +341,28 @@ func (c *Client) chunk(op wire.Op, addr uint64, src, dst []byte) (Info, error) {
 }
 
 // do issues one request with retry-with-backoff. Reads land directly in
-// dst; control-op payloads are returned as a fresh slice.
-func (c *Client) do(op wire.Op, addr uint64, count uint32, payload, dst []byte) (wire.Header, []byte, error) {
+// dst; control-op payloads (and root pins) are returned as a fresh slice.
+func (c *Client) do(op wire.Op, flags uint8, addr uint64, count uint32, payload, dst []byte) (wire.Header, []byte, error) {
 	var lastErr error
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
+			c.ctr.retries.Add(1)
 			time.Sleep(backoff)
 			backoff *= 2
 		}
 		if c.closed.Load() {
 			return wire.Header{}, nil, errors.New("client: closed")
 		}
+		c.ctr.attempts.Add(1)
 		pc := c.conns[c.rr.Add(1)%uint64(len(c.conns))]
-		h, body, err := pc.roundTrip(op, addr, count, payload, dst)
+		h, body, err := pc.roundTrip(op, flags, addr, count, payload, dst)
 		if err != nil {
+			if errors.Is(err, errTimeout) {
+				c.ctr.timeouts.Add(1)
+			} else {
+				c.ctr.transportErrors.Add(1)
+			}
 			lastErr = err // transport trouble: retry (another conn, redial)
 			continue
 		}
@@ -293,7 +373,14 @@ func (c *Client) do(op wire.Op, addr uint64, count uint32, payload, dst []byte) 
 		if !h.Status.Retryable() {
 			return wire.Header{}, nil, serr
 		}
+		switch h.Status {
+		case wire.StatusBusy:
+			c.ctr.busyDeferrals.Add(1)
+		case wire.StatusDeadline:
+			c.ctr.deadlineDeferrals.Add(1)
+		}
 		lastErr = serr
 	}
+	c.ctr.retriesExhausted.Add(1)
 	return wire.Header{}, nil, fmt.Errorf("client: retries exhausted: %w", lastErr)
 }

@@ -72,7 +72,7 @@ func TestClientRoundTrip(t *testing.T) {
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := c.Stats()
+	snap, err := c.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}

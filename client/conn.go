@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -39,6 +40,7 @@ type callResult struct {
 // plus the in-flight window bounding this slot's pipelining depth.
 type poolConn struct {
 	opts   *Options
+	ctr    *counters
 	window chan struct{}
 
 	mu   sync.Mutex
@@ -46,6 +48,10 @@ type poolConn struct {
 
 	nextID atomic.Uint64
 }
+
+// errTimeout marks an attempt abandoned at RequestTimeout, so the retry
+// loop can account it separately from transport failures.
+var errTimeout = errors.New("request timed out")
 
 // connect (re)dials the slot's transport and starts its reader.
 func (pc *poolConn) connect() error {
@@ -61,6 +67,9 @@ func (pc *poolConn) connectLocked() error {
 	nc, err := pc.opts.Dial()
 	if err != nil {
 		return err
+	}
+	if pc.sess != nil && pc.ctr != nil {
+		pc.ctr.reconnects.Add(1)
 	}
 	s := &session{nc: nc, pending: make(map[uint64]*call)}
 	pc.sess = s
@@ -98,7 +107,7 @@ func (pc *poolConn) close(err error) {
 
 // roundTrip sends one request and waits for its completion. Read payloads
 // land directly in dst; other payloads are returned as a fresh slice.
-func (pc *poolConn) roundTrip(op wire.Op, addr uint64, count uint32, payload, dst []byte) (wire.Header, []byte, error) {
+func (pc *poolConn) roundTrip(op wire.Op, flags uint8, addr uint64, count uint32, payload, dst []byte) (wire.Header, []byte, error) {
 	pc.window <- struct{}{}
 	defer func() { <-pc.window }()
 
@@ -117,7 +126,7 @@ func (pc *poolConn) roundTrip(op wire.Op, addr uint64, count uint32, payload, ds
 	s.pending[id] = cl
 	s.mu.Unlock()
 
-	h := wire.Header{Version: wire.Version, Op: op, ID: id, Addr: addr, Count: count}
+	h := wire.Header{Version: wire.Version, Op: op, Flags: flags, ID: id, Addr: addr, Count: count}
 	s.wmu.Lock()
 	s.wbuf = wire.AppendFrame(s.wbuf[:0], h, payload)
 	_, werr := s.nc.Write(s.wbuf)
@@ -136,7 +145,7 @@ func (pc *poolConn) roundTrip(op wire.Op, addr uint64, count uint32, payload, ds
 		return res.h, res.body, res.err
 	case <-timer.C:
 		s.forget(id)
-		return wire.Header{}, nil, fmt.Errorf("client: %v at %#x: request timed out", op, addr)
+		return wire.Header{}, nil, fmt.Errorf("client: %v at %#x: %w", op, addr, errTimeout)
 	}
 }
 
@@ -160,15 +169,31 @@ func (s *session) readLoop() {
 		}
 		res := callResult{h: h}
 		if h.Status.Success() {
+			data := payload
+			var pin []byte
+			if h.Flags&wire.FlagRootPin != 0 {
+				// The root-pin suffix rides after the data; peel it
+				// off so dst sizing below sees only the data.
+				if len(data) < wire.RootPinBytes {
+					res.err = fmt.Errorf("client: pinned %v response is %d bytes, shorter than the pin", h.Op, len(data))
+					cl.done <- res
+					continue
+				}
+				pin = data[len(data)-wire.RootPinBytes:]
+				data = data[:len(data)-wire.RootPinBytes]
+			}
 			switch {
 			case cl.dst != nil:
-				if len(payload) != len(cl.dst) {
-					res.err = fmt.Errorf("client: %v payload is %d bytes, want %d", h.Op, len(payload), len(cl.dst))
+				if len(data) != len(cl.dst) {
+					res.err = fmt.Errorf("client: %v payload is %d bytes, want %d", h.Op, len(data), len(cl.dst))
 				} else {
-					copy(cl.dst, payload)
+					copy(cl.dst, data)
 				}
-			case len(payload) > 0:
-				res.body = append([]byte(nil), payload...)
+			case len(data) > 0:
+				res.body = append([]byte(nil), data...)
+			}
+			if pin != nil && res.err == nil {
+				res.body = append([]byte(nil), pin...)
 			}
 		}
 		cl.done <- res

@@ -1,0 +1,69 @@
+package client
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of the client's own transport counters:
+// how hard this client has had to work to get its calls through, independent
+// of anything the server reports. Cumulative since New.
+//
+// The server's view of the same conversation is ServerStats.
+type Stats struct {
+	// Attempts counts request attempts put on the wire, including
+	// re-attempts of the same logical call.
+	Attempts uint64 `json:"attempts"`
+
+	// Retries counts attempts beyond each call's first — Attempts minus
+	// the number of logical calls that reached the transport.
+	Retries uint64 `json:"retries"`
+
+	// BusyDeferrals and DeadlineDeferrals count BUSY and DEADLINE
+	// rejections from the server's admission control; each one backs off
+	// and re-attempts (until MaxRetries).
+	BusyDeferrals     uint64 `json:"busy_deferrals"`
+	DeadlineDeferrals uint64 `json:"deadline_deferrals"`
+
+	// Timeouts counts attempts abandoned because no response arrived
+	// within RequestTimeout.
+	Timeouts uint64 `json:"timeouts"`
+
+	// TransportErrors counts attempts that failed below the protocol:
+	// dial failures, broken writes, connections lost mid-read.
+	TransportErrors uint64 `json:"transport_errors"`
+
+	// Reconnects counts pool slots re-dialed after their session broke.
+	// The initial dials in New are not reconnects.
+	Reconnects uint64 `json:"reconnects"`
+
+	// RetriesExhausted counts logical calls that failed after their last
+	// permitted attempt.
+	RetriesExhausted uint64 `json:"retries_exhausted"`
+}
+
+// counters is the live (atomic) form of Stats, shared by the client and its
+// pool slots.
+type counters struct {
+	attempts          atomic.Uint64
+	retries           atomic.Uint64
+	busyDeferrals     atomic.Uint64
+	deadlineDeferrals atomic.Uint64
+	timeouts          atomic.Uint64
+	transportErrors   atomic.Uint64
+	reconnects        atomic.Uint64
+	retriesExhausted  atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		BusyDeferrals:     c.busyDeferrals.Load(),
+		DeadlineDeferrals: c.deadlineDeferrals.Load(),
+		Timeouts:          c.timeouts.Load(),
+		TransportErrors:   c.transportErrors.Load(),
+		Reconnects:        c.reconnects.Load(),
+		RetriesExhausted:  c.retriesExhausted.Load(),
+	}
+}
+
+// Stats returns the client-side transport counters.
+func (c *Client) Stats() Stats { return c.ctr.snapshot() }

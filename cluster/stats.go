@@ -1,0 +1,110 @@
+package cluster
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of the cluster client's counters:
+// quorum traffic, degraded-mode events broken down by verdict, repairs, and
+// rebalance volume. Cumulative since New.
+type Stats struct {
+	// QuorumReads and QuorumWrites count stripe-level quorum operations
+	// (a spanning Read/Write contributes one per stripe touched).
+	QuorumReads  uint64 `json:"quorum_reads"`
+	QuorumWrites uint64 `json:"quorum_writes"`
+
+	// DegradedReads/DegradedWrites count quorum operations that completed
+	// without full replica participation.
+	DegradedReads  uint64 `json:"degraded_reads"`
+	DegradedWrites uint64 `json:"degraded_writes"`
+
+	// Outvote verdicts, one counter per cause. See Verdict.
+	OutvotedFault       uint64 `json:"outvoted_fault"`
+	OutvotedUnreachable uint64 `json:"outvoted_unreachable"`
+	OutvotedStale       uint64 `json:"outvoted_stale"`
+	OutvotedEpoch       uint64 `json:"outvoted_epoch"`
+	OutvotedRoot        uint64 `json:"outvoted_root"`
+	OutvotedMajority    uint64 `json:"outvoted_majority"`
+
+	// Unresolved counts quorum operations that failed with a
+	// *QuorumError: divergence detected, no evidence to resolve it.
+	Unresolved uint64 `json:"unresolved"`
+
+	// Repairs counts stripes re-written onto a losing replica from the
+	// quorum winner; RepairedBytes is their volume.
+	Repairs       uint64 `json:"repairs"`
+	RepairedBytes uint64 `json:"repaired_bytes"`
+
+	// Revivals counts dead nodes brought back by a probe; EpochResets
+	// counts revivals that found a new epoch (node restarted — all its
+	// stripes were voided and queued for repair).
+	Revivals    uint64 `json:"revivals"`
+	EpochResets uint64 `json:"epoch_resets"`
+
+	// RebalancedStripes and TransferredBytes measure verified stripe
+	// transfers performed by AddNode/RemoveNode.
+	RebalancedStripes uint64 `json:"rebalanced_stripes"`
+	TransferredBytes  uint64 `json:"transferred_bytes"`
+}
+
+type counters struct {
+	quorumReads         atomic.Uint64
+	quorumWrites        atomic.Uint64
+	degradedReads       atomic.Uint64
+	degradedWrites      atomic.Uint64
+	outvotedFault       atomic.Uint64
+	outvotedUnreachable atomic.Uint64
+	outvotedStale       atomic.Uint64
+	outvotedEpoch       atomic.Uint64
+	outvotedRoot        atomic.Uint64
+	outvotedMajority    atomic.Uint64
+	unresolved          atomic.Uint64
+	repairs             atomic.Uint64
+	repairedBytes       atomic.Uint64
+	revivals            atomic.Uint64
+	epochResets         atomic.Uint64
+	rebalancedStripes   atomic.Uint64
+	transferredBytes    atomic.Uint64
+}
+
+func (c *counters) countVerdict(v Verdict) {
+	switch v {
+	case VerdictOutvotedFault:
+		c.outvotedFault.Add(1)
+	case VerdictOutvotedUnreachable:
+		c.outvotedUnreachable.Add(1)
+	case VerdictOutvotedStale:
+		c.outvotedStale.Add(1)
+	case VerdictOutvotedEpoch:
+		c.outvotedEpoch.Add(1)
+	case VerdictOutvotedRoot:
+		c.outvotedRoot.Add(1)
+	case VerdictOutvotedMajority:
+		c.outvotedMajority.Add(1)
+	case VerdictUnresolved:
+		c.unresolved.Add(1)
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		QuorumReads:         c.quorumReads.Load(),
+		QuorumWrites:        c.quorumWrites.Load(),
+		DegradedReads:       c.degradedReads.Load(),
+		DegradedWrites:      c.degradedWrites.Load(),
+		OutvotedFault:       c.outvotedFault.Load(),
+		OutvotedUnreachable: c.outvotedUnreachable.Load(),
+		OutvotedStale:       c.outvotedStale.Load(),
+		OutvotedEpoch:       c.outvotedEpoch.Load(),
+		OutvotedRoot:        c.outvotedRoot.Load(),
+		OutvotedMajority:    c.outvotedMajority.Load(),
+		Unresolved:          c.unresolved.Load(),
+		Repairs:             c.repairs.Load(),
+		RepairedBytes:       c.repairedBytes.Load(),
+		Revivals:            c.revivals.Load(),
+		EpochResets:         c.epochResets.Load(),
+		RebalancedStripes:   c.rebalancedStripes.Load(),
+		TransferredBytes:    c.transferredBytes.Load(),
+	}
+}
+
+// Stats returns the cluster client's counters.
+func (c *Cluster) Stats() Stats { return c.ctr.snapshot() }

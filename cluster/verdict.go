@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"authmem"
+)
+
+// Verdict classifies how a quorum operation resolved. Anything other than
+// VerdictClean means at least one replica did not contribute a correct
+// answer — the operation still succeeded (except VerdictUnresolved, which
+// surfaces as a *QuorumError), but the caller can see exactly what kind of
+// disagreement was survived.
+type Verdict int
+
+const (
+	// VerdictClean: every participating replica agreed.
+	VerdictClean Verdict = iota
+
+	// VerdictOutvotedFault: a replica was discarded because its own node
+	// reported an integrity failure (MAC_FAIL or QUARANTINED) — the node
+	// is honest, its memory is corrupted.
+	VerdictOutvotedFault
+
+	// VerdictOutvotedUnreachable: a replica was discarded because its
+	// node is dead, partitioned, or timing out.
+	VerdictOutvotedUnreachable
+
+	// VerdictOutvotedStale: a replica was excluded because the stripe is
+	// known-stale on it — it missed a write during an outage or lost an
+	// earlier vote — and repair has not landed yet.
+	VerdictOutvotedStale
+
+	// VerdictOutvotedEpoch: a replica answered plausibly but its node's
+	// epoch changed since the cluster last validated it — the node
+	// restarted, so everything it holds is void until repaired.
+	VerdictOutvotedEpoch
+
+	// VerdictOutvotedRoot: a replica answered plausibly but the root
+	// digest pinned to its response deviates from the root the cluster
+	// tracked for that node — rolled-back or tampered state.
+	VerdictOutvotedRoot
+
+	// VerdictOutvotedMajority: with three or more replicas, a
+	// byte-identical majority outvoted the deviant minority.
+	VerdictOutvotedMajority
+
+	// VerdictUnresolved: replicas diverged and no evidence (status,
+	// epoch, root, majority) decides who is lying. The operation fails
+	// with a *QuorumError; the divergence is detected, never silently
+	// resolved by guessing.
+	VerdictUnresolved
+)
+
+var verdictNames = [...]string{
+	"CLEAN", "OUTVOTED_FAULT", "OUTVOTED_UNREACHABLE", "OUTVOTED_STALE",
+	"OUTVOTED_EPOCH", "OUTVOTED_ROOT", "OUTVOTED_MAJORITY", "UNRESOLVED",
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v < 0 || int(v) >= len(verdictNames) {
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+	return verdictNames[v]
+}
+
+// ReplicaState is one replica's contribution to a contested quorum
+// operation, kept as evidence in a QuorumError.
+type ReplicaState struct {
+	// Node is the replica's member name.
+	Node string
+	// Err is how the replica failed, nil if it answered.
+	Err error
+	// PayloadSHA digests the replica's answer (valid when Err is nil).
+	PayloadSHA [sha256.Size]byte
+	// Root is the root digest the node pinned to its answer.
+	Root authmem.RootDigest
+	// Epoch is the node's epoch at the time of the operation.
+	Epoch uint64
+}
+
+// QuorumError reports a quorum operation that could not be resolved — the
+// replicas disagree and no evidence identifies the correct one — or that
+// lost every replica. It is a detection, not a resolution: the caller gets
+// the full per-replica evidence instead of silently trusting a guess.
+type QuorumError struct {
+	// Op is "read" or "write".
+	Op string
+	// Addr and Len frame the contested span.
+	Addr uint64
+	Len  int
+	// Replicas is the evidence, one entry per participating replica.
+	Replicas []ReplicaState
+}
+
+// Error implements error.
+func (e *QuorumError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %s of %d bytes at %#x has no quorum:", e.Op, e.Len, e.Addr)
+	for _, r := range e.Replicas {
+		if r.Err != nil {
+			fmt.Fprintf(&b, " [%s: %v]", r.Node, r.Err)
+		} else {
+			fmt.Fprintf(&b, " [%s: payload %x… epoch %d]", r.Node, r.PayloadSHA[:4], r.Epoch)
+		}
+	}
+	return b.String()
+}

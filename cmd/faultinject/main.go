@@ -64,6 +64,9 @@ func main() {
 	runCampaign := flag.Bool("campaign", false, "run the end-to-end campaign instead of the Figure 3 table")
 	runConcurrent := flag.Bool("concurrent", false, "run the concurrent sharded-engine campaign phase")
 	runStrike := flag.Bool("strike", false, "run the lock-free read-path strike phase")
+	runCluster := flag.Bool("cluster", false, "run the distributed cluster campaign phase")
+	nodes := flag.Int("nodes", 3, "memserved node count for -cluster (>= 3)")
+	repl := flag.Int("repl", 2, "replicas per stripe for -cluster")
 	shards := flag.Int("shards", 4, "shard count for -concurrent (power of two)")
 	workers := flag.Int("workers", 3, "traffic goroutines for -concurrent")
 	trials := flag.Int("trials", 2000, "fault injections per cell (Figure 3) or total memory operations (-campaign)")
@@ -80,6 +83,10 @@ func main() {
 	out := flag.String("out", "CAMPAIGN_report.json", "campaign JSON report path")
 	flag.Parse()
 
+	if *runCluster {
+		mainCluster(*trials, *seed, *nodes, *repl, *rate, *burst, *out)
+		return
+	}
 	if *runStrike {
 		ecfg := engineConfig(*scheme, *placement, *eccName, *backend, *budget)
 		mainStrike(ecfg, *trials, *seed, *burst, *shards, *workers, *out)
@@ -234,18 +241,70 @@ func mainCampaign(ecfg core.Config, ops int, seed int64, app string, rate float6
 	}
 	fmt.Print(pt)
 
+	// Distributed plane: node-level faults against the quorum cluster.
+	ccfg := campaign.DefaultCluster(ops/10, seed)
+	fmt.Printf("\nCluster phase: %d nodes, R=%d, ~%d quorum ops across %d scenarios\n",
+		ccfg.Nodes, ccfg.Replication, ccfg.Ops, len(campaign.ClusterScenarios()))
+	cc, err := campaign.RunCluster(ccfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.Cluster = cc
+	printClusterReport(cc)
+
 	if err := stats.WriteJSON(out, rep); err != nil {
 		fatalf("writing report: %v", err)
 	}
 	fmt.Printf("wrote %s\n", out)
 
 	if !rep.Passed() {
-		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d live + %d durability silent escape(s) — replay with -seed %d\n",
-			rep.SilentEscapes, pc.SilentEscapes, seed)
+		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d live + %d durability + %d cluster silent escape(s) — replay with -seed %d\n",
+			rep.SilentEscapes, pc.SilentEscapes, cc.SilentEscapes, seed)
 		os.Exit(1)
 	}
-	fmt.Printf("PASS: %d operations, %d fault events, %d persist-crash strikes, 0 silent corruption escapes\n",
-		rep.Ops, rep.FaultEvents, pc.FlatTrials+pc.ShardedTrials)
+	fmt.Printf("PASS: %d operations, %d fault events, %d persist-crash strikes, %d cluster ops, 0 silent corruption escapes\n",
+		rep.Ops, rep.FaultEvents, pc.FlatTrials+pc.ShardedTrials, cc.Ops)
+}
+
+func printClusterReport(cc *campaign.ClusterReport) {
+	ct := stats.NewTable("scenario", "ops", "faults", "clean", "recovered", "halted", "SILENT", "converged")
+	for _, s := range cc.Scenarios {
+		ct.AddRow(s.Scenario, s.Ops, s.FaultEvents,
+			s.Outcomes["clean"], s.Outcomes["recovered"], s.Outcomes["halted"], s.Outcomes["silent"], s.Converged)
+	}
+	fmt.Print(ct)
+	fmt.Printf("\nquorum: %d outvoted (fault %d, unreachable %d, stale %d, epoch %d, root %d, majority %d), %d unresolved, %d repairs, %d stripes rebalanced\n",
+		cc.Stats.OutvotedFault+cc.Stats.OutvotedUnreachable+cc.Stats.OutvotedStale+cc.Stats.OutvotedEpoch+cc.Stats.OutvotedRoot+cc.Stats.OutvotedMajority,
+		cc.Stats.OutvotedFault, cc.Stats.OutvotedUnreachable, cc.Stats.OutvotedStale, cc.Stats.OutvotedEpoch,
+		cc.Stats.OutvotedRoot, cc.Stats.OutvotedMajority, cc.Stats.Unresolved, cc.Stats.Repairs, cc.Stats.RebalancedStripes)
+}
+
+func mainCluster(ops int, seed int64, nodes, repl int, rate float64, burst int, out string) {
+	cfg := campaign.DefaultCluster(ops, seed)
+	cfg.Nodes = nodes
+	cfg.Replication = repl
+	cfg.FaultRate = rate
+	cfg.BurstMax = burst
+
+	fmt.Printf("Cluster campaign: %d nodes, R=%d, ~%d quorum ops, seed %d\n", nodes, repl, cfg.Ops, seed)
+	rep, err := campaign.RunCluster(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printClusterReport(rep)
+
+	if err := stats.WriteJSON(out, rep); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if !rep.Passed() {
+		fmt.Fprintf(os.Stderr, "faultinject: FAIL: %d silent escape(s) across the cluster (converged=%v) — replay with -seed %d\n",
+			rep.SilentEscapes, rep.SilentEscapes == 0, seed)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d cluster ops, %d fault events, 0 silent corruption escapes, attested %s…\n",
+		rep.Ops, rep.FaultEvents, rep.AttestedRoot[:12])
 }
 
 // campaignMinStrikes floors the persist-crash strike budget so even a

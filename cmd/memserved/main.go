@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"flag"
@@ -25,12 +26,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"authmem"
 	"authmem/client"
+	"authmem/cluster"
 	"authmem/internal/ecc"
 	"authmem/internal/server"
 	"authmem/internal/wire"
@@ -39,6 +42,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":7348", "TCP listen address (serve mode) ")
+		nodeID    = flag.String("node-id", "", "stable node identity reported in the HELLO handshake (cluster placement hashes it; default: random)")
 		size      = flag.Uint64("size", 64<<20, "protected region size in bytes")
 		shards    = flag.Int("shards", 4, "shard count (power of two; 1 = single locked engine)")
 		scheme    = flag.String("scheme", "delta", "counter scheme: delta, split, or mono")
@@ -59,11 +63,20 @@ func main() {
 		connect    = flag.String("connect", "", "smoke-client mode: dial this address instead of serving")
 		smokeConns = flag.Int("smoke-conns", 2, "smoke client: pooled connections")
 		smokeOps   = flag.Int("smoke-ops", 256, "smoke client: write+read pairs per worker")
+
+		clusterConnect = flag.String("cluster-connect", "", "cluster smoke mode: comma-separated name=addr members to stripe across (name must match each node's -node-id)")
+		clusterPhase   = flag.String("cluster-phase", "write", "cluster smoke phase: write (populate+verify+attest) or verify (re-read the write phase's pattern, tolerating a downed node)")
 	)
 	flag.Parse()
 	log.SetPrefix("memserved: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
+	if *clusterConnect != "" {
+		if err := runClusterSmoke(*clusterConnect, *clusterPhase, *smokeOps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *connect != "" {
 		if err := runSmoke(*connect, *smokeConns, *smokeOps); err != nil {
 			log.Fatal(err)
@@ -111,6 +124,7 @@ func main() {
 
 	cfg := server.Config{
 		Backend:        backend,
+		NodeID:         *nodeID,
 		MaxInflight:    *inflight,
 		Workers:        *workers,
 		RequestTimeout: *timeout,
@@ -252,6 +266,94 @@ func buildBackend(size uint64, shards int, scheme, eccCodec, crypto string, key 
 	return m, fmt.Sprintf("%dMB %s region (single engine, %s ecc, %s)", size>>20, scheme, eccDesc, crypto), nil
 }
 
+// runClusterSmoke is the CI cluster smoke client. The write phase stripes a
+// deterministic pattern across the members, reads every span back through
+// the quorum path, and attests the combined root. The verify phase re-reads
+// the same pattern — typically after CI has killed one member — and passes
+// as long as every quorum read still returns the exact pattern, degraded or
+// not; any wrong byte or unresolved read fails it.
+func runClusterSmoke(spec, phase string, ops int) error {
+	var nodes []cluster.Node
+	for _, part := range strings.Split(spec, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return fmt.Errorf("-cluster-connect: %q is not name=addr", part)
+		}
+		nodes = append(nodes, cluster.Node{Name: name, Addr: addr})
+	}
+	const (
+		region     = 8 << 20
+		spanBlocks = 8
+	)
+	cl, err := cluster.New(cluster.Options{
+		Nodes:  nodes,
+		Size:   region,
+		Client: client.Options{Conns: 2, MaxInflight: 32},
+		// The verify phase runs after CI killed a member: reads must
+		// still verify through the surviving quorum.
+		AllowDead: phase == "verify",
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	span := spanBlocks * wire.BlockBytes
+	if ops*span > region {
+		ops = region / span
+	}
+	pattern := func(i int, buf []byte) {
+		for j := range buf {
+			buf[j] = byte(i*131 + j*7 + 5)
+		}
+	}
+	want := make([]byte, span)
+	got := make([]byte, span)
+	start := time.Now()
+
+	if phase == "write" {
+		for i := 0; i < ops; i++ {
+			pattern(i, want)
+			if _, err := cl.Write(uint64(i*span), want); err != nil {
+				return fmt.Errorf("cluster write %d: %w", i, err)
+			}
+		}
+	}
+	var degraded, outvoted int
+	for i := 0; i < ops; i++ {
+		pattern(i, want)
+		info, err := cl.Read(uint64(i*span), got)
+		if err != nil {
+			return fmt.Errorf("cluster read %d: %w", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("cluster read %d: payload mismatch (verdict %s)", i, info.Verdict)
+		}
+		if info.Degraded {
+			degraded++
+		}
+		if info.Verdict != cluster.VerdictClean {
+			outvoted++
+		}
+	}
+	switch phase {
+	case "write":
+		att, err := cl.Attest()
+		if err != nil {
+			return fmt.Errorf("attest: %w", err)
+		}
+		log.Printf("cluster smoke OK (%s): %d spans across %d nodes in %v; combined root %x",
+			phase, ops, len(nodes), time.Since(start).Round(time.Millisecond), att.Combined[:8])
+	case "verify":
+		st := cl.Stats()
+		log.Printf("cluster smoke OK (%s): %d spans verified in %v; degraded=%d outvoted=%d repairs=%d",
+			phase, ops, time.Since(start).Round(time.Millisecond), degraded, outvoted, st.Repairs)
+	default:
+		return fmt.Errorf("-cluster-phase: %q (want write or verify)", phase)
+	}
+	return nil
+}
+
 // runSmoke is the CI smoke client: concurrent workers pipeline writes and
 // verifying reads over a pooled connection, then flush and fetch stats.
 func runSmoke(addr string, conns, ops int) error {
@@ -305,7 +407,7 @@ func runSmoke(addr string, conns, ops int) error {
 	if _, err := c.RootDigest(); err != nil {
 		return fmt.Errorf("root digest: %w", err)
 	}
-	snap, err := c.Stats()
+	snap, err := c.ServerStats()
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}

@@ -1,0 +1,222 @@
+package main
+
+// -cluster: tracked distributed-serving benchmark. Prices the striped,
+// quorum-verified cluster client against the same region served by a single
+// direct client: read/write throughput at 1, 2, and 4 nodes, and the quorum
+// overhead (replica fan-out + answer comparison + root pinning) as a
+// percentage over the direct single-node path. Written to BENCH_cluster.json
+// so cluster-path regressions are reviewable in diffs like any other result.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"authmem"
+	"authmem/client"
+	"authmem/cluster"
+	"authmem/internal/server"
+	"authmem/internal/stats"
+	"authmem/internal/wire"
+)
+
+// clusterEntry is one (topology, op) cell in BENCH_cluster.json.
+type clusterEntry struct {
+	Topology    string  `json:"topology"` // direct | cluster
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	Op          string  `json:"op"`
+	SpanBlocks  int     `json:"span_blocks"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	// QuorumOverheadPct is this cell's ns/op over the direct single-node
+	// cell for the same op, in percent (0 for the direct cells).
+	QuorumOverheadPct float64 `json:"quorum_overhead_pct"`
+}
+
+type clusterReport struct {
+	Note string `json:"note"`
+	benchEnv
+	RegionBytes  uint64         `json:"region_bytes"`
+	StripeBlocks int            `json:"stripe_blocks"`
+	Entries      []clusterEntry `json:"entries"`
+}
+
+func runClusterBench(outPath string, quick bool) {
+	fmt.Println("=== Cluster: striped quorum client vs direct single node ===")
+	regionBytes := uint64(16 << 20)
+	opsPerCell := 12_000
+	if quick {
+		regionBytes = 4 << 20
+		opsPerCell = 1_500
+	}
+	const (
+		spanBlocks   = 4
+		stripeBlocks = 64
+		workers      = 8
+	)
+
+	rep := clusterReport{
+		Note: fmt.Sprintf("End-to-end %d-block ops over in-process loopback nodes. "+
+			"direct is one client on one memserved; cluster/N stripes the region over N nodes "+
+			"(R=min(2,N)) with root-pinned quorum reads and fan-out writes. "+
+			"quorum_overhead_pct compares each cell's ns/op to the direct cell.", spanBlocks),
+		benchEnv:     captureEnv(),
+		RegionBytes:  regionBytes,
+		StripeBlocks: stripeBlocks,
+	}
+
+	// Direct baseline: one node, one plain client, no quorum layer.
+	base := map[string]float64{}
+	{
+		h := newBenchNode("direct0", regionBytes)
+		defer h.close()
+		c, err := client.New(client.Options{Dial: h.srv.DialLoopback, Conns: 2, MaxInflight: workers + 2})
+		if err != nil {
+			fatal(err)
+		}
+		for _, op := range []string{"write", "read"} {
+			e := benchClusterCell(func(addr uint64, buf []byte) error {
+				var err error
+				if op == "write" {
+					_, err = c.Write(addr, buf)
+				} else {
+					_, err = c.Read(addr, buf)
+				}
+				return err
+			}, "direct", 1, 1, op, spanBlocks, opsPerCell, regionBytes, workers)
+			base[op] = e.NsPerOp
+			rep.Entries = append(rep.Entries, e)
+			fmt.Printf("  direct   n=1 R=1 %-5s  %9.0f ops/s  %8.1f MB/s\n", e.Op, e.OpsPerSec, e.MBPerSec)
+		}
+		c.Close()
+	}
+
+	for _, nodeCount := range []int{1, 2, 4} {
+		var nodes []cluster.Node
+		var handles []*benchNode
+		for i := 0; i < nodeCount; i++ {
+			h := newBenchNode(fmt.Sprintf("bench%d", i), regionBytes)
+			handles = append(handles, h)
+			nodes = append(nodes, cluster.Node{Name: h.name, Dial: h.srv.DialLoopback})
+		}
+		repl := min(2, nodeCount)
+		cl, err := cluster.New(cluster.Options{
+			Nodes:        nodes,
+			Size:         regionBytes,
+			StripeBlocks: stripeBlocks,
+			Replication:  repl,
+			Client:       client.Options{Conns: 2, MaxInflight: workers + 2},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, op := range []string{"write", "read"} {
+			e := benchClusterCell(func(addr uint64, buf []byte) error {
+				var err error
+				if op == "write" {
+					_, err = cl.Write(addr, buf)
+				} else {
+					_, err = cl.Read(addr, buf)
+				}
+				return err
+			}, "cluster", nodeCount, repl, op, spanBlocks, opsPerCell, regionBytes, workers)
+			e.QuorumOverheadPct = 100 * (e.NsPerOp - base[op]) / base[op]
+			rep.Entries = append(rep.Entries, e)
+			fmt.Printf("  cluster  n=%d R=%d %-5s  %9.0f ops/s  %8.1f MB/s  %+6.1f%% vs direct\n",
+				nodeCount, repl, e.Op, e.OpsPerSec, e.MBPerSec, e.QuorumOverheadPct)
+		}
+		cl.Close()
+		for _, h := range handles {
+			h.close()
+		}
+	}
+
+	if err := stats.WriteJSON(outPath, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// benchNode is one loopback memserved for the cluster benchmark.
+type benchNode struct {
+	name string
+	srv  *server.Server
+}
+
+func newBenchNode(name string, regionBytes uint64) *benchNode {
+	cfg := authmem.DefaultConfig(regionBytes)
+	cfg.Key = benchKeyMaterial()
+	mem, err := authmem.NewSharded(cfg, 4)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{Backend: mem, NodeID: name, RequestTimeout: -1})
+	if err != nil {
+		fatal(err)
+	}
+	return &benchNode{name: name, srv: srv}
+}
+
+func (n *benchNode) close() { n.srv.Close() }
+
+// benchClusterCell drives one cell: workers goroutines issue span-sized ops
+// over disjoint block windows; reads run against windows the same cell's
+// warm-up pass wrote.
+func benchClusterCell(do func(addr uint64, buf []byte) error, topology string, nodes, repl int, op string, spanBlocks, totalOps int, size uint64, workers int) clusterEntry {
+	perWorker := totalOps / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	totalOps = perWorker * workers
+	spanBytes := spanBlocks * wire.BlockBytes
+	window := (size / uint64(workers)) / uint64(spanBytes)
+	if window > 256 {
+		window = 256
+	}
+
+	// Read cells need no warm-up: the write cell runs first in each
+	// topology and covers exactly these windows.
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * (size / uint64(workers))
+			buf := make([]byte, spanBytes)
+			for i := range buf {
+				buf[i] = byte(w + i)
+			}
+			for i := 0; i < perWorker; i++ {
+				addr := base + uint64(i)%window*uint64(spanBytes)
+				if err := do(addr, buf); err != nil {
+					errCh <- fmt.Errorf("%s/%d %s at %#x: %w", topology, nodes, op, addr, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		fatal(err)
+	}
+
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(totalOps)
+	return clusterEntry{
+		Topology:    topology,
+		Nodes:       nodes,
+		Replication: repl,
+		Op:          op,
+		SpanBlocks:  spanBlocks,
+		Ops:         totalOps,
+		NsPerOp:     nsPerOp,
+		OpsPerSec:   float64(totalOps) / elapsed.Seconds(),
+		MBPerSec:    float64(totalOps) * float64(spanBytes) / (1 << 20) / elapsed.Seconds(),
+	}
+}

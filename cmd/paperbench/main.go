@@ -50,6 +50,8 @@ func main() {
 	eccBenchOut := flag.String("ecc-out", "BENCH_ecc.json", "output path for -ecc")
 	persist := flag.Bool("persist", false, "run the incremental-persistence benchmark (AppendDelta vs full Persist across dirty fractions, plus WAL replay) and write the tracked JSON baseline")
 	persistOut := flag.String("persist-out", "BENCH_persist.json", "output path for -persist")
+	clusterBench := flag.Bool("cluster", false, "run the distributed cluster benchmark (1/2/4-node quorum throughput vs a direct single node) and write the tracked JSON baseline")
+	clusterBenchOut := flag.String("cluster-out", "BENCH_cluster.json", "output path for -cluster")
 	quick := flag.Bool("quick", false, "shrink the -writepath/-server workloads for a fast smoke run")
 	all := flag.Bool("all", false, "reproduce everything")
 	ops := flag.Uint64("ops", 1_000_000, "Figure 8: memory ops per core")
@@ -63,13 +65,13 @@ func main() {
 	flag.Parse()
 	outDir = *csvDir
 
-	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *eccBench || *persist || *all
+	any := *fig1 || *fig3 || *fig8 || *table2 || *hotpath || *parallel || *writepath || *cores || *srvBench || *cryptoBench || *eccBench || *persist || *clusterBench || *all
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *all {
-		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench, *eccBench, *persist = true, true, true, true, true, true, true, true, true, true, true, true
+		*fig1, *fig3, *fig8, *table2, *hotpath, *parallel, *writepath, *cores, *srvBench, *cryptoBench, *eccBench, *persist, *clusterBench = true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -117,6 +119,9 @@ func main() {
 	}
 	if *persist {
 		runPersistBench(*persistOut, *quick)
+	}
+	if *clusterBench {
+		runClusterBench(*clusterBenchOut, *quick)
 	}
 	if *fig1 {
 		runFig1()

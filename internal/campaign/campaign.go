@@ -236,6 +236,11 @@ type Report struct {
 	// silent escapes fail the campaign exactly like live-plane ones.
 	PersistCrash *PersistCrashReport `json:"persist_crash,omitempty"`
 
+	// Cluster is the distributed phase (node corruption, rollback, kill,
+	// partition, rebalance against the quorum cluster client); nil when
+	// the phase did not run. Its silent escapes fail the campaign too.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
+
 	// Engine-side recovery counters accumulated across phases.
 	RetriedReads    uint64 `json:"retried_reads"`
 	RetryRecoveries uint64 `json:"retry_recoveries"`
@@ -246,10 +251,12 @@ type Report struct {
 }
 
 // Passed reports whether the campaign met its safety bar: zero silent
-// escapes in the live planes and, when the persist-crash phase ran, zero in
-// the durability plane too.
+// escapes in the live planes and, when the persist-crash or cluster phases
+// ran, zero in those too.
 func (r *Report) Passed() bool {
-	return r.SilentEscapes == 0 && (r.PersistCrash == nil || r.PersistCrash.Passed())
+	return r.SilentEscapes == 0 &&
+		(r.PersistCrash == nil || r.PersistCrash.Passed()) &&
+		(r.Cluster == nil || r.Cluster.Passed())
 }
 
 // regionBytes sizes the test region: big enough for several hundred block

@@ -1,0 +1,116 @@
+// Package cluster holds the deterministic machinery under the public
+// cluster package: stripe geometry and the rendezvous-hashed stripe-to-node
+// placement. Everything here is pure computation — no I/O, no state — so
+// every participant that knows the member list derives the same map.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"authmem/internal/wire"
+)
+
+// Geometry fixes how a logical region is cut into stripes. A stripe is the
+// placement unit: all blocks of one stripe live on the same replica set,
+// and rebalancing moves whole stripes.
+type Geometry struct {
+	// Size is the logical region size in bytes (a multiple of StripeBytes
+	// is not required; the last stripe may be short).
+	Size uint64
+	// StripeBlocks is the stripe length in 64-byte blocks.
+	StripeBlocks int
+}
+
+// StripeBytes returns the stripe length in bytes.
+func (g Geometry) StripeBytes() uint64 {
+	return uint64(g.StripeBlocks) * wire.BlockBytes
+}
+
+// Stripes returns how many stripes cover the region.
+func (g Geometry) Stripes() uint64 {
+	sb := g.StripeBytes()
+	return (g.Size + sb - 1) / sb
+}
+
+// StripeOf maps a block-aligned address to its stripe index.
+func (g Geometry) StripeOf(addr uint64) uint64 {
+	return addr / g.StripeBytes()
+}
+
+// StripeSpan returns the address range [lo, hi) of stripe s, clipped to the
+// region.
+func (g Geometry) StripeSpan(s uint64) (lo, hi uint64) {
+	sb := g.StripeBytes()
+	lo = s * sb
+	hi = min(lo+sb, g.Size)
+	return lo, hi
+}
+
+// Validate rejects degenerate geometries.
+func (g Geometry) Validate() error {
+	if g.StripeBlocks <= 0 || g.StripeBlocks > wire.MaxSpanBlocks {
+		return fmt.Errorf("cluster: StripeBlocks %d outside [1, %d]", g.StripeBlocks, wire.MaxSpanBlocks)
+	}
+	if g.Size == 0 || g.Size%wire.BlockBytes != 0 {
+		return fmt.Errorf("cluster: size %d is not a positive multiple of %d", g.Size, wire.BlockBytes)
+	}
+	return nil
+}
+
+// Owners computes the replica set for one stripe by highest-random-weight
+// (rendezvous) hashing: every (node, stripe) pair gets a deterministic
+// score, and the R highest-scoring nodes own the stripe. The properties
+// that matter:
+//
+//   - Every participant with the same member list derives the same owners,
+//     with no coordination and no stored placement table.
+//   - Adding or removing one node only moves stripes that gained or lost
+//     that node — on average a 1/N fraction — because all other pairwise
+//     scores are untouched. Whole-stripe transfer cost on membership
+//     change is therefore minimal by construction.
+//
+// names must be non-empty; r is clamped to len(names). The result is
+// ordered best-score-first, so result[0] is the stripe's primary.
+func Owners(stripe uint64, names []string, r int) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	r = min(r, len(names))
+	type scored struct {
+		name  string
+		score uint64
+	}
+	sc := make([]scored, len(names))
+	for i, n := range names {
+		sc[i] = scored{n, score(n, stripe)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].name < sc[j].name // total order even on score ties
+	})
+	out := make([]string, r)
+	for i := range out {
+		out[i] = sc[i].name
+	}
+	return out
+}
+
+// score is the rendezvous weight of (name, stripe). FNV-1a is enough: the
+// placement needs uniformity, not adversarial collision resistance —
+// integrity comes from the per-node Merkle roots, not from where a stripe
+// happens to live.
+func score(name string, stripe uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var b [9]byte
+	b[0] = 0 // separator: ("ab", 1) and ("a", ...) must not collide trivially
+	for i := 0; i < 8; i++ {
+		b[i+1] = byte(stripe >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"authmem/internal/wire"
+)
+
+func TestGeometry(t *testing.T) {
+	g := Geometry{Size: 1 << 20, StripeBlocks: 64}
+	if g.StripeBytes() != 4096 {
+		t.Fatalf("StripeBytes = %d", g.StripeBytes())
+	}
+	if g.Stripes() != 256 {
+		t.Fatalf("Stripes = %d", g.Stripes())
+	}
+	if g.StripeOf(0) != 0 || g.StripeOf(4095) != 0 || g.StripeOf(4096) != 1 {
+		t.Fatal("StripeOf misassigns boundary addresses")
+	}
+	lo, hi := g.StripeSpan(255)
+	if lo != 255*4096 || hi != 1<<20 {
+		t.Fatalf("StripeSpan(255) = [%d, %d)", lo, hi)
+	}
+
+	// A short tail stripe is clipped to the region.
+	g2 := Geometry{Size: 4096 + 128, StripeBlocks: 64}
+	if g2.Stripes() != 2 {
+		t.Fatalf("tail: Stripes = %d", g2.Stripes())
+	}
+	if _, hi := g2.StripeSpan(1); hi != 4096+128 {
+		t.Fatalf("tail: hi = %d", hi)
+	}
+
+	if err := (Geometry{Size: 1 << 20, StripeBlocks: 0}).Validate(); err == nil {
+		t.Fatal("zero StripeBlocks accepted")
+	}
+	if err := (Geometry{Size: 1 << 20, StripeBlocks: wire.MaxSpanBlocks + 1}).Validate(); err == nil {
+		t.Fatal("oversized stripe accepted")
+	}
+	if err := (Geometry{Size: 100, StripeBlocks: 1}).Validate(); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+}
+
+func TestOwnersDeterministicAndBalanced(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	const stripes = 10_000
+	load := map[string]int{}
+	for s := uint64(0); s < stripes; s++ {
+		o1 := Owners(s, names, 2)
+		o2 := Owners(s, []string{"e", "d", "c", "b", "a"}, 2) // order-independent
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("stripe %d: owners %v", s, o1)
+		}
+		if o1[0] != o2[0] || o1[1] != o2[1] {
+			t.Fatalf("stripe %d: placement depends on member order: %v vs %v", s, o1, o2)
+		}
+		for _, n := range o1 {
+			load[n]++
+		}
+	}
+	// 2*stripes placements over 5 nodes: expect ~4000 each; allow ±25%.
+	for n, got := range load {
+		if got < 3000 || got > 5000 {
+			t.Fatalf("node %s owns %d stripe-replicas; placement badly skewed: %v", n, got, load)
+		}
+	}
+}
+
+// TestOwnersMinimalMovement checks the rendezvous property the rebalancer
+// relies on: removing a node only moves stripes that node owned, and adding
+// a node only moves stripes the new node wins.
+func TestOwnersMinimalMovement(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	const stripes = 5_000
+	moved := 0
+	for s := uint64(0); s < stripes; s++ {
+		before := Owners(s, names, 2)
+		after := Owners(s, []string{"a", "b", "c"}, 2) // "d" leaves
+		lost := map[string]bool{}
+		for _, n := range before {
+			lost[n] = true
+		}
+		for _, n := range after {
+			if !lost[n] {
+				// A node joined this stripe's replica set. That is only
+				// legitimate if "d" was evicted from it.
+				if before[0] != "d" && before[1] != "d" {
+					t.Fatalf("stripe %d: %v -> %v moved without involving d", s, before, after)
+				}
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no stripes moved when a node left; d owned nothing?")
+	}
+	// d held ~1/2 of stripe-replicas... 2 slots over 4 nodes = expect
+	// ~2500 affected stripes, certainly far fewer than all 2*5000 slots.
+	if moved > 3500 {
+		t.Fatalf("%d replica slots moved; rendezvous placement should move ~2500", moved)
+	}
+
+	// Clamping: r > len(names) returns everyone, best first.
+	if got := Owners(0, []string{"x", "y"}, 5); len(got) != 2 {
+		t.Fatalf("clamped owners: %v", got)
+	}
+	if Owners(0, nil, 2) != nil {
+		t.Fatal("empty member list must yield no owners")
+	}
+}

@@ -16,7 +16,9 @@ import (
 // itself does.
 var bufPool = sync.Pool{
 	New: func() any {
-		b := make([]byte, 0, wire.MaxPayloadBytes)
+		// Room for a maximum span plus a root-pin suffix, so pinned
+		// responses never outgrow a pooled buffer.
+		b := make([]byte, 0, wire.MaxPayloadBytes+wire.RootPinBytes)
 		return &b
 	},
 }
@@ -271,8 +273,30 @@ func (c *conn) expire(r *request) bool {
 	h := r.h
 	h.Status = wire.StatusDeadline
 	h.Count = 0
+	h.Flags = 0
 	c.finish(response{h: h, accepted: true})
 	return true
+}
+
+// maybePin appends the node's current trusted root digest to a successful
+// response whose request asked for it with FlagRootPin, and sets the flag
+// on the response to mark the suffix present. Failed responses never pin:
+// their post-operation root is not an attestation of anything the client
+// got. Computing the root forces a flush, which is why pinning is opt-in
+// per request.
+func (c *conn) maybePin(reqFlags uint8, resp *response) {
+	resp.h.Flags &^= wire.FlagRootPin
+	if reqFlags&wire.FlagRootPin == 0 || !resp.h.Status.Success() {
+		return
+	}
+	d := c.srv.cfg.Backend.RootDigest()
+	if resp.data == nil {
+		resp.data = getBuf(0)
+	}
+	*resp.data = append((*resp.data)[:resp.n], d[:]...)
+	resp.n += len(d)
+	resp.h.Flags |= wire.FlagRootPin
+	c.srv.ctr.rootPinned.Add(1)
 }
 
 // finish queues a response and, for admitted requests, retires it from the
@@ -303,7 +327,22 @@ func (c *conn) execute(batch []request) {
 		} else {
 			h.Status = wire.StatusOK
 		}
-		c.finish(response{h: h, accepted: true})
+		resp := response{h: h, accepted: true}
+		c.maybePin(batch[0].h.Flags, &resp)
+		c.finish(resp)
+	case wire.OpHello:
+		c.srv.ctr.helloOps.Add(1)
+		h := batch[0].h
+		doc, err := c.srv.nodeInfoJSON()
+		if err != nil || len(doc) > wire.MaxPayloadBytes {
+			h.Status = wire.StatusInternal
+			c.finish(response{h: h, accepted: true})
+			return
+		}
+		data := getBuf(len(doc))
+		copy(*data, doc)
+		h.Status = wire.StatusOK
+		c.finish(response{h: h, data: data, n: len(doc), accepted: true})
 	case wire.OpStats:
 		c.srv.ctr.statsOps.Add(1)
 		h := batch[0].h
@@ -348,7 +387,10 @@ func (c *conn) execReads(batch []request) {
 	if len(batch) == 1 {
 		h := batch[0].h
 		h.Status = wire.StatusOK
-		c.finish(response{h: h, data: data, n: total, accepted: true})
+		h.Flags = 0
+		resp := response{h: h, data: data, n: total, accepted: true}
+		c.maybePin(batch[0].h.Flags, &resp)
+		c.finish(resp)
 		return
 	}
 	off := 0
@@ -359,7 +401,10 @@ func (c *conn) execReads(batch []request) {
 		off += n
 		h := r.h
 		h.Status = wire.StatusOK
-		c.finish(response{h: h, data: part, n: n, accepted: true})
+		h.Flags = 0
+		resp := response{h: h, data: part, n: n, accepted: true}
+		c.maybePin(r.h.Flags, &resp)
+		c.finish(resp)
 	}
 	putBuf(data)
 }
@@ -415,7 +460,9 @@ func (c *conn) execReadRecover(r request) {
 	} else {
 		h.Status = wire.StatusOK
 	}
-	c.finish(response{h: h, data: data, n: n, accepted: true})
+	resp := response{h: h, data: data, n: n, accepted: true}
+	c.maybePin(r.h.Flags, &resp)
+	c.finish(resp)
 }
 
 // execWrites serves a batch of adjacent write spans with one WriteBlocks
@@ -462,6 +509,7 @@ func (c *conn) execWrites(batch []request) {
 
 func (c *conn) finishWrite(r request, err error, swept bool) {
 	h := r.h
+	h.Flags = 0
 	putBuf(r.data)
 	switch {
 	case err == nil && swept:
@@ -482,7 +530,9 @@ func (c *conn) finishWrite(r request, err error, swept bool) {
 		}
 	}
 	h.Count = 0
-	c.finish(response{h: h, accepted: true})
+	resp := response{h: h, accepted: true}
+	c.maybePin(r.h.Flags, &resp)
+	c.finish(resp)
 }
 
 // writeLoop serializes responses, gathering everything immediately

@@ -75,8 +75,14 @@ func FuzzServerFrame(f *testing.F) {
 			if h.Version != wire.Version {
 				t.Fatalf("response version %d", h.Version)
 			}
-			if h.Status == wire.StatusOK && h.Op == wire.OpRead && len(payload) != h.SpanBytes() {
-				t.Fatalf("read response: %d payload bytes for %d blocks", len(payload), h.Count)
+			if h.Status == wire.StatusOK && h.Op == wire.OpRead {
+				want := h.SpanBytes()
+				if h.Flags&wire.FlagRootPin != 0 {
+					want += wire.RootPinBytes
+				}
+				if len(payload) != want {
+					t.Fatalf("read response: %d payload bytes for %d blocks (flags %#x)", len(payload), h.Count, h.Flags)
+				}
 			}
 			if len(payload) > wire.MaxPayloadBytes {
 				t.Fatalf("oversized response payload: %d bytes", len(payload))

@@ -33,6 +33,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"net"
@@ -94,6 +96,18 @@ type Config struct {
 	// Backend is the device served. Required; must be concurrency-safe.
 	Backend Backend
 
+	// NodeID is this node's stable identity, reported in the OpHello
+	// handshake. Cluster placement hashes it, so give every member a
+	// distinct, restart-stable ID (memserved -node-id). Default: a random
+	// hex ID, fine for standalone serving.
+	NodeID string
+
+	// Epoch identifies this incarnation of the backend's volatile state,
+	// reported in OpHello. A cluster client that observes an epoch change
+	// knows the node restarted and its stripes need repair. Default: the
+	// process start time in nanoseconds.
+	Epoch uint64
+
 	// MaxInflight caps accepted-but-unanswered requests per connection;
 	// excess requests are rejected with StatusBusy (default 64).
 	MaxInflight int
@@ -131,6 +145,7 @@ type Config struct {
 type counters struct {
 	connsOpened, connsClosed                        atomic.Uint64
 	readOps, writeOps, flushOps, statsOps, rootOps  atomic.Uint64
+	helloOps, rootPinned                            atomic.Uint64
 	blocksRead, blocksWritten                       atomic.Uint64
 	busyRejected, deadlineRejected, drainRejected   atomic.Uint64
 	badRequests, malformedFrames                    atomic.Uint64
@@ -148,6 +163,8 @@ func (c *counters) snapshot() wire.ServerCounters {
 		FlushOps:           c.flushOps.Load(),
 		StatsOps:           c.statsOps.Load(),
 		RootOps:            c.rootOps.Load(),
+		HelloOps:           c.helloOps.Load(),
+		RootPinned:         c.rootPinned.Load(),
 		BlocksRead:         c.blocksRead.Load(),
 		BlocksWritten:      c.blocksWritten.Load(),
 		BusyRejected:       c.busyRejected.Load(),
@@ -214,6 +231,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.NodeID == "" {
+		var raw [4]byte
+		rand.Read(raw[:])
+		cfg.NodeID = "node-" + hex.EncodeToString(raw[:])
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = uint64(time.Now().UnixNano())
+	}
 	s := &Server{
 		cfg:       cfg,
 		size:      cfg.Backend.Size(),
@@ -251,6 +276,24 @@ func (s *Server) Snapshot() wire.StatsSnapshot {
 }
 
 func (s *Server) snapshotJSON() ([]byte, error) { return json.Marshal(s.Snapshot()) }
+
+// NodeInfo returns the identity document an OpHello request receives.
+func (s *Server) NodeInfo() wire.NodeInfo {
+	shards := 1
+	if r, ok := s.cfg.Backend.(ShardRouter); ok {
+		shards = r.Shards()
+	}
+	return wire.NodeInfo{
+		NodeID:       s.cfg.NodeID,
+		Epoch:        s.cfg.Epoch,
+		ProtoVersion: wire.Version,
+		Size:         s.size,
+		Shards:       shards,
+		BlockBytes:   wire.BlockBytes,
+	}
+}
+
+func (s *Server) nodeInfoJSON() ([]byte, error) { return json.Marshal(s.NodeInfo()) }
 
 func (s *Server) metricsLoop() {
 	defer s.metricsWG.Done()

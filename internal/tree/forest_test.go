@@ -84,6 +84,78 @@ func TestForestMultiShardRootDiffersFromAnyShardRoot(t *testing.T) {
 	}
 }
 
+// syntheticRoots builds n distinct, deterministic shard roots without the
+// cost of real trees — CombineRoots only sees digests, so exercising it at
+// cluster-scale shard counts needs nothing heavier.
+func syntheticRoots(n int) [][sha256.Size]byte {
+	roots := make([][sha256.Size]byte, n)
+	for i := range roots {
+		roots[i] = sha256.Sum256([]byte{byte(i), byte(i >> 8), 0x5A})
+	}
+	return roots
+}
+
+// TestCombineRootsShardCounts pins determinism and pairwise distinctness
+// across awkward shard counts: non-powers-of-two, primes, and the 64+ range
+// a cluster attestation combines (one root per node, nodes sharded 2-16
+// ways). Counts must also be part of the digest — a prefix of a larger set
+// can never combine to the same value as the full set.
+func TestCombineRootsShardCounts(t *testing.T) {
+	counts := []int{2, 3, 5, 7, 12, 31, 33, 64, 65, 100, 127, 257}
+	seen := make(map[[sha256.Size]byte]int, len(counts))
+	all := syntheticRoots(300)
+	for _, n := range counts {
+		roots := all[:n]
+		got := CombineRoots(roots)
+		if again := CombineRoots(roots); again != got {
+			t.Fatalf("n=%d: CombineRoots is not deterministic", n)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Fatalf("n=%d combined root collides with n=%d (count not bound into digest)", n, prev)
+		}
+		seen[got] = n
+		for i := 0; i < n; i++ {
+			if got == roots[i] {
+				t.Fatalf("n=%d: combined root equals shard %d root", n, i)
+			}
+		}
+	}
+}
+
+// TestCombineRootsPerturbAnyShard is the property the cluster's combined
+// attestation rests on: flipping any single bit of any single shard root
+// changes the combined digest. Checked exhaustively over shards at a
+// non-power-of-two count, one probe bit per byte.
+func TestCombineRootsPerturbAnyShard(t *testing.T) {
+	const n = 65 // 64+ and odd: past any accidental power-of-two alignment
+	roots := syntheticRoots(n)
+	base := CombineRoots(roots)
+	for shard := 0; shard < n; shard++ {
+		for byteIdx := 0; byteIdx < sha256.Size; byteIdx++ {
+			roots[shard][byteIdx] ^= 1 << (byteIdx % 8)
+			if CombineRoots(roots) == base {
+				t.Fatalf("perturbing shard %d byte %d left the combined root unchanged", shard, byteIdx)
+			}
+			roots[shard][byteIdx] ^= 1 << (byteIdx % 8)
+		}
+		if CombineRoots(roots) != base {
+			t.Fatalf("shard %d: perturbation cleanup failed", shard)
+		}
+	}
+}
+
+// TestCombineRootsOrderAt64Plus extends the order-dependence check to the
+// counts a cluster actually combines.
+func TestCombineRootsOrderAt64Plus(t *testing.T) {
+	roots := syntheticRoots(96)
+	base := CombineRoots(roots)
+	swapped := append([][sha256.Size]byte(nil), roots...)
+	swapped[0], swapped[95] = swapped[95], swapped[0]
+	if CombineRoots(swapped) == base {
+		t.Fatal("swapping shard roots 0 and 95 must change the combined digest")
+	}
+}
+
 func TestNewForestRejectsEmptyAndNil(t *testing.T) {
 	if _, err := NewForest(nil); err == nil {
 		t.Fatal("empty forest accepted")

@@ -19,6 +19,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpFlush, ID: 3}, nil))
 	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpStats, ID: 4}, nil))
 	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpRootDigest, ID: 5}, nil))
+	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpHello, ID: 30}, nil))
+	// Root-pin asks: legal on READ/WRITE/FLUSH, rejected elsewhere.
+	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpRead, Flags: FlagRootPin, ID: 31, Addr: 64, Count: 2}, nil))
+	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpWrite, Flags: FlagRootPin, ID: 32, Count: 1}, make([]byte, BlockBytes)))
+	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpFlush, Flags: FlagRootPin, ID: 33}, nil))
+	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpStats, Flags: FlagRootPin, ID: 34}, nil))
 	f.Add(AppendFrame(nil, Header{Version: Version, Op: OpRead, Status: StatusMACFail, Flags: FlagQuarantinedNow, ID: 6, Addr: 128}, nil))
 	// Two frames back to back.
 	f.Add(AppendFrame(AppendFrame(nil, Header{Version: Version, Op: OpRead, ID: 7, Count: 1}, nil),

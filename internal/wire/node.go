@@ -1,0 +1,30 @@
+package wire
+
+// NodeInfo is the JSON payload of an OpHello response: the serving node's
+// identity and geometry. A cluster client hellos every node at connect time
+// to validate that the members agree on protocol and region shape, to learn
+// each node's stable identity for placement, and to record the node's epoch
+// — a value that changes whenever the node restarts, so a client that later
+// observes a different epoch knows the node's volatile state was lost (or
+// replaced) and its stripes must be repaired from replicas before its
+// answers count toward a quorum again.
+type NodeInfo struct {
+	// NodeID is the node's stable identity (memserved -node-id). Placement
+	// hashes it, so it must be unique and survive restarts.
+	NodeID string `json:"node_id"`
+
+	// Epoch identifies this incarnation of the node's in-memory state. It
+	// is fresh on every process start; an epoch change between hellos
+	// means everything the client believed about the node is void.
+	Epoch uint64 `json:"epoch"`
+
+	// ProtoVersion is the wire protocol version the node speaks.
+	ProtoVersion int `json:"proto_version"`
+
+	// Size is the node's protected region size in bytes; Shards its shard
+	// count; BlockBytes its block granularity. A cluster requires all
+	// members to agree on Size and BlockBytes.
+	Size       uint64 `json:"size"`
+	Shards     int    `json:"shards"`
+	BlockBytes int    `json:"block_bytes"`
+}

@@ -24,6 +24,12 @@ type ServerCounters struct {
 	FlushOps uint64 `json:"flush_ops"`
 	StatsOps uint64 `json:"stats_ops"`
 	RootOps  uint64 `json:"root_ops"`
+	HelloOps uint64 `json:"hello_ops"`
+
+	// RootPinned counts responses that carried a root-pin suffix
+	// (requests asking via FlagRootPin). Each pin forces a flush, so this
+	// is also a measure of pin-induced quiescent points.
+	RootPinned uint64 `json:"root_pinned"`
 
 	// Data moved, in blocks.
 	BlocksRead    uint64 `json:"blocks_read"`

@@ -8,7 +8,7 @@
 //	0       4     frame length N (little-endian; header + payload, excludes
 //	              this prefix; HeaderBytes <= N <= MaxFrameBytes)
 //	4       1     protocol version (Version)
-//	5       1     op (OpRead..OpRootDigest; responses echo the request op)
+//	5       1     op (OpRead..OpHello; responses echo the request op)
 //	6       1     status (0/StatusOK in requests; the outcome in responses)
 //	7       1     flags (response info bits: FlagRetried, FlagMetaRepaired,
 //	              FlagCorrected, FlagQuarantinedNow)
@@ -21,8 +21,13 @@
 //
 // Payloads: OpWrite requests and successful OpRead responses carry
 // count*BlockBytes of block data; OpStats responses carry a JSON
-// StatsSnapshot; OpRootDigest responses carry the 32-byte root digest.
-// Control requests (OpFlush, OpStats, OpRootDigest) are header-only.
+// StatsSnapshot; OpRootDigest responses carry the 32-byte root digest;
+// OpHello responses carry a JSON NodeInfo (node identity, epoch, geometry).
+// Control requests (OpFlush, OpStats, OpRootDigest, OpHello) are
+// header-only. A READ/WRITE/FLUSH request carrying FlagRootPin asks the
+// node to append its current trusted root digest (RootPinBytes) after the
+// ordinary response payload; the response echoes FlagRootPin to mark the
+// suffix present.
 //
 // The codec is allocation-free in steady state: encoding appends into a
 // caller-owned buffer and decoding aliases the Reader's reused buffer.
@@ -58,11 +63,18 @@ const (
 	// transfers are split into multiple pipelined requests by the client.
 	MaxSpanBlocks = 1024
 
+	// RootPinBytes is the size of a root-pin digest (SHA-256). A response
+	// to a request carrying FlagRootPin appends this many bytes — the
+	// serving node's current trusted root digest — after the ordinary
+	// payload, and echoes FlagRootPin to mark the suffix present.
+	RootPinBytes = 32
+
 	// MaxPayloadBytes and MaxFrameBytes bound what a peer can make us
 	// buffer: a frame longer than MaxFrameBytes is malformed by
-	// definition and rejected before allocation.
+	// definition and rejected before allocation. MaxFrameBytes leaves
+	// room for a root-pin suffix on a maximum-span read response.
 	MaxPayloadBytes = MaxSpanBlocks * BlockBytes
-	MaxFrameBytes   = HeaderBytes + MaxPayloadBytes
+	MaxFrameBytes   = HeaderBytes + MaxPayloadBytes + RootPinBytes
 )
 
 // Op identifies a request kind.
@@ -74,6 +86,7 @@ const (
 	OpFlush      Op = 3 // force deferred Merkle maintenance to land
 	OpStats      Op = 4 // engine + server statistics snapshot (JSON)
 	OpRootDigest Op = 5 // trusted root digest over the current state
+	OpHello      Op = 6 // node identity/epoch handshake (JSON NodeInfo)
 )
 
 // String names the op.
@@ -89,6 +102,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpRootDigest:
 		return "ROOT_DIGEST"
+	case OpHello:
+		return "HELLO"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -200,6 +215,13 @@ const (
 	// FlagQuarantinedNow: this very request exhausted the recovery budget
 	// and quarantined the failing block (accompanies StatusMACFail).
 	FlagQuarantinedNow = 1 << 3
+	// FlagRootPin: in a READ/WRITE/FLUSH request, asks the node to append
+	// its current trusted root digest (RootPinBytes) to the response
+	// payload; in a response, marks that suffix present. The pin is the
+	// node's post-operation attestation anchor — a cluster client stores
+	// it per node and folds all pins into the combined cluster digest.
+	// Forcing the root is a flush, so pinning is strictly opt-in.
+	FlagRootPin = 1 << 4
 )
 
 // Header is the fixed 24-byte frame header (everything after the length
@@ -230,6 +252,9 @@ var (
 	ErrBadSpan = errors.New("wire: invalid block span")
 	// ErrUnaligned: the address is not block-aligned.
 	ErrUnaligned = errors.New("wire: address not block-aligned")
+	// ErrBadFlags: the request carries a flag its op does not support
+	// (FlagRootPin outside READ/WRITE/FLUSH).
+	ErrBadFlags = errors.New("wire: unsupported request flags")
 	// ErrPayloadSize: the payload length does not match the header.
 	ErrPayloadSize = errors.New("wire: payload length mismatch")
 	// ErrIncomplete: the buffer ends mid-frame (streaming callers should
@@ -324,9 +349,12 @@ func (h Header) ValidateRequest(payloadLen int) error {
 		if payloadLen != want {
 			return fmt.Errorf("%w: have %d, want %d", ErrPayloadSize, payloadLen, want)
 		}
-	case OpFlush, OpStats, OpRootDigest:
+	case OpFlush, OpStats, OpRootDigest, OpHello:
 		if h.Count != 0 || payloadLen != 0 {
 			return fmt.Errorf("%w: control op carries data", ErrPayloadSize)
+		}
+		if h.Op != OpFlush && h.Flags&FlagRootPin != 0 {
+			return fmt.Errorf("%w: FlagRootPin on %v", ErrBadFlags, h.Op)
 		}
 	default:
 		return fmt.Errorf("%w: %d", ErrBadOp, uint8(h.Op))
@@ -381,7 +409,7 @@ func (fr *Reader) Next() (Header, []byte, error) {
 		return h, nil, nil
 	}
 	if cap(fr.buf) < payloadLen {
-		fr.buf = make([]byte, payloadLen, MaxPayloadBytes)
+		fr.buf = make([]byte, payloadLen, MaxFrameBytes-HeaderBytes)
 	}
 	fr.buf = fr.buf[:payloadLen]
 	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {

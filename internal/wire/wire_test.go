@@ -117,7 +117,16 @@ func TestValidateRequest(t *testing.T) {
 	ok(Header{Op: OpFlush}, 0)
 	ok(Header{Op: OpStats}, 0)
 	ok(Header{Op: OpRootDigest}, 0)
+	ok(Header{Op: OpHello}, 0)
+	ok(Header{Op: OpRead, Count: 1, Flags: FlagRootPin}, 0)
+	ok(Header{Op: OpWrite, Count: 1, Flags: FlagRootPin}, BlockBytes)
+	ok(Header{Op: OpFlush, Flags: FlagRootPin}, 0)
 
+	bad(Header{Op: OpHello, Count: 1}, 0, ErrPayloadSize)
+	bad(Header{Op: OpHello}, 4, ErrPayloadSize)
+	bad(Header{Op: OpHello, Flags: FlagRootPin}, 0, ErrBadFlags)
+	bad(Header{Op: OpStats, Flags: FlagRootPin}, 0, ErrBadFlags)
+	bad(Header{Op: OpRootDigest, Flags: FlagRootPin}, 0, ErrBadFlags)
 	bad(Header{Op: OpRead, Count: 0}, 0, ErrBadSpan)
 	bad(Header{Op: OpRead, Count: MaxSpanBlocks + 1}, 0, ErrBadSpan)
 	bad(Header{Op: OpRead, Count: 1, Addr: 63}, 0, ErrUnaligned)
@@ -128,6 +137,41 @@ func TestValidateRequest(t *testing.T) {
 	bad(Header{Op: OpFlush}, 4, ErrPayloadSize)
 	bad(Header{Op: Op(0)}, 0, ErrBadOp)
 	bad(Header{Op: Op(200)}, 0, ErrBadOp)
+}
+
+// TestRootPinnedFrameRoundTrip pins the frame geometry of the cluster
+// extensions: a maximum-span read response with a root-pin suffix must fit
+// inside MaxFrameBytes, and both decoders must hand the suffix back intact.
+func TestRootPinnedFrameRoundTrip(t *testing.T) {
+	payload := make([]byte, MaxPayloadBytes+RootPinBytes)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	h := Header{Version: Version, Op: OpRead, Status: StatusOK, Flags: FlagRootPin,
+		ID: 42, Count: MaxSpanBlocks}
+	b := AppendFrame(nil, h, payload)
+
+	gh, gp, n, err := ParseFrame(b)
+	if err != nil {
+		t.Fatalf("ParseFrame: %v", err)
+	}
+	if n != len(b) || gh != h || !bytes.Equal(gp, payload) {
+		t.Fatal("ParseFrame mismatch on pinned max-span frame")
+	}
+	rh, rp, err := NewReader(bytes.NewReader(b)).Next()
+	if err != nil {
+		t.Fatalf("Reader.Next: %v", err)
+	}
+	if rh != h || !bytes.Equal(rp, payload) {
+		t.Fatal("Reader mismatch on pinned max-span frame")
+	}
+
+	// Hello round trip: header-only request, JSON-ish response payload.
+	hello := AppendFrame(nil, Header{Version: Version, Op: OpHello, ID: 7}, nil)
+	hh, hp, _, err := ParseFrame(hello)
+	if err != nil || hh.Op != OpHello || len(hp) != 0 {
+		t.Fatalf("hello frame: h=%+v payload=%d err=%v", hh, len(hp), err)
+	}
 }
 
 func TestStatusTaxonomy(t *testing.T) {
